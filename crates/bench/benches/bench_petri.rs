@@ -1,0 +1,52 @@
+//! Petri-net engine benchmarks: firing throughput and bounded
+//! reachability exploration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emc_petri::{reachable_markings, PetriNet, TaskGraph};
+use emc_units::{Joules, Seconds};
+
+fn ring(slots: u32) -> PetriNet {
+    let mut n = PetriNet::new();
+    let empty = n.add_place("empty", slots);
+    let full = n.add_place("full", 0);
+    let produce = n.add_transition("produce");
+    let consume = n.add_transition("consume");
+    n.add_input_arc(produce, empty, 1);
+    n.add_output_arc(produce, full, 1);
+    n.add_input_arc(consume, full, 1);
+    n.add_output_arc(consume, empty, 1);
+    n
+}
+
+fn bench_firing(c: &mut Criterion) {
+    c.bench_function("petri_fire_10k", |b| {
+        b.iter_batched(
+            || ring(4),
+            |mut net| {
+                let ids: Vec<_> = net.transition_ids().collect();
+                let mut budget = Joules(f64::INFINITY);
+                for i in 0..10_000 {
+                    let _ = net.fire(ids[i % 2], &mut budget);
+                }
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let net = ring(64);
+    c.bench_function("petri_reachability_ring64", |b| {
+        b.iter(|| reachable_markings(&net, 1_000))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("taskgraph_compile_10x10", |b| {
+        b.iter(|| TaskGraph::fork_join(10, 10, Joules(1e-6), Seconds(1.0)).compile())
+    });
+}
+
+criterion_group!(benches, bench_firing, bench_reachability, bench_compile);
+criterion_main!(benches);

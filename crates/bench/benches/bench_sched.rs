@@ -1,0 +1,49 @@
+//! Scheduler benchmarks: energy-token scheduling over a fork-join
+//! workload, the CTMC solve, and best-response dynamics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emc_petri::TaskGraph;
+use emc_sched::{ConcurrencyModel, EnergyTokenScheduler, PowerGame, TaskBid};
+use emc_units::{Joules, Seconds};
+
+fn bench_token_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("energy_token_scheduler");
+    g.sample_size(20);
+    g.bench_function("fork_join_6x4_2000_ticks", |b| {
+        b.iter(|| {
+            EnergyTokenScheduler::run(
+                TaskGraph::fork_join(6, 4, Joules(10e-6), Seconds(4.0)),
+                Joules(60e-6),
+                4,
+                1.0,
+                2_000,
+                |t| if t % 10 == 0 { Joules(15e-6) } else { Joules(1e-6) },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ctmc(c: &mut Criterion) {
+    let model = ConcurrencyModel::new(8.0, 1.0, 64);
+    c.bench_function("ctmc_sweep_k16_n64", |b| b.iter(|| model.sweep(16)));
+}
+
+fn bench_game(c: &mut Criterion) {
+    let game = PowerGame::new(
+        3.0,
+        1e-4,
+        (0..8)
+            .map(|i| TaskBid {
+                workload: 2.0 + i as f64,
+                deadline: 6.0 + (i % 3) as f64,
+            })
+            .collect(),
+    );
+    c.bench_function("power_game_best_response_8_players", |b| {
+        b.iter(|| game.best_response_dynamics(100))
+    });
+}
+
+criterion_group!(benches, bench_token_scheduler, bench_ctmc, bench_game);
+criterion_main!(benches);

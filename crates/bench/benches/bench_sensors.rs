@@ -1,0 +1,29 @@
+//! Sensor benchmarks: a full gate-level charge-to-digital conversion and
+//! the reference-free sensor's measure/decode path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emc_sensors::{ChargeToDigitalConverter, ReferenceFreeSensor};
+use emc_units::{Farads, Volts};
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("charge_to_digital");
+    g.sample_size(10);
+    let adc = ChargeToDigitalConverter::new(Farads(2e-12), 12);
+    g.bench_function("convert_0v8_full_discharge", |b| {
+        b.iter(|| adc.convert(Volts(0.8)))
+    });
+    g.finish();
+}
+
+fn bench_reference_free(c: &mut Criterion) {
+    let sensor = ReferenceFreeSensor::new(8);
+    c.bench_function("reference_free_measure_decode", |b| {
+        b.iter(|| sensor.measure_and_decode(Volts(0.43)))
+    });
+    c.bench_function("reference_free_build_with_calibration", |b| {
+        b.iter(|| ReferenceFreeSensor::new(8))
+    });
+}
+
+criterion_group!(benches, bench_conversion, bench_reference_free);
+criterion_main!(benches);

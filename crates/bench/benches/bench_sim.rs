@@ -1,0 +1,121 @@
+//! Simulator engine benchmarks: event throughput on free-running
+//! self-timed logic, at constant and AC supplies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emc_async::{SelfTimedOscillator, ToggleRippleCounter};
+use emc_device::DeviceModel;
+use emc_netlist::Netlist;
+use emc_sim::{Simulator, SupplyKind};
+use emc_units::{Hertz, Seconds, Waveform};
+
+fn counting_rig(supply: SupplyKind) -> Simulator {
+    let mut nl = Netlist::new();
+    let osc = SelfTimedOscillator::build(&mut nl, "osc");
+    let _cnt = ToggleRippleCounter::build(&mut nl, 8, osc.output(), "cnt");
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", supply);
+    sim.assign_all(d);
+    osc.prime(&mut sim);
+    sim.start();
+    sim
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_events");
+    g.sample_size(20);
+
+    g.bench_function("constant_vdd_10k_events", |b| {
+        b.iter_batched(
+            || counting_rig(SupplyKind::ideal(Waveform::constant(1.0))),
+            |mut sim| sim.run_to_quiescence(10_000),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("ac_vdd_2k_events", |b| {
+        b.iter_batched(
+            || {
+                counting_rig(SupplyKind::ideal_with_resolution(
+                    Waveform::sine(0.4, 0.2, Hertz(1e6), 0.0).clamped(0.0, 2.0),
+                    Seconds(1e-6 / 64.0),
+                ))
+            },
+            |mut sim| sim.run_to_quiescence(2_000),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+fn bench_netlist_build(c: &mut Criterion) {
+    c.bench_function("netlist_build_32bit_counter", |b| {
+        b.iter(|| {
+            let mut nl = Netlist::new();
+            let osc = SelfTimedOscillator::build(&mut nl, "osc");
+            let cnt = ToggleRippleCounter::build(&mut nl, 32, osc.output(), "cnt");
+            std::hint::black_box((nl.gate_count(), cnt.width()))
+        })
+    });
+}
+
+fn bench_dims_adder(c: &mut Criterion) {
+    use emc_async::DualRailAdder;
+    let mut g = c.benchmark_group("dims_adder");
+    g.sample_size(20);
+    g.bench_function("add_8bit_at_0v5", |b| {
+        b.iter_batched(
+            || {
+                let mut nl = Netlist::new();
+                let adder = DualRailAdder::build(&mut nl, 8, "add");
+                let mut sim = Simulator::new(nl, DeviceModel::umc90());
+                let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(0.5)));
+                sim.assign_all(d);
+                sim.start();
+                sim.run_to_quiescence(100_000);
+                (sim, adder)
+            },
+            |(mut sim, adder)| {
+                let deadline = Seconds(sim.now().0 + 1.0);
+                adder.add(&mut sim, 137, 85, deadline)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    use emc_sim::longest_path;
+    use emc_units::Volts;
+    // A wide-and-deep random-ish combinational block.
+    let mut nl = Netlist::new();
+    let mut layer: Vec<_> = (0..16).map(|i| nl.input(&format!("in{i}"))).collect();
+    for d in 0..12 {
+        layer = (0..16)
+            .map(|i| {
+                nl.gate(
+                    emc_netlist::GateKind::Nand,
+                    &[layer[i], layer[(i + 1) % 16]],
+                    &format!("g{d}_{i}"),
+                )
+            })
+            .collect();
+    }
+    for &n in &layer {
+        nl.mark_output(n);
+    }
+    let device = DeviceModel::umc90();
+    c.bench_function("sta_192_gates", |b| {
+        b.iter(|| longest_path(&nl, &device, Volts(0.5)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_netlist_build,
+    bench_dims_adder,
+    bench_sta
+);
+criterion_main!(benches);

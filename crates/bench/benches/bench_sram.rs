@@ -1,0 +1,90 @@
+//! SRAM model benchmarks: access evaluation across disciplines and the
+//! work-integral engine under a varying supply.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emc_sram::{Sram, SramConfig, TimingDiscipline};
+use emc_units::{Seconds, Volts, Waveform};
+
+fn bench_accesses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sram_access");
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+
+    g.bench_function("write_completion_0v4", |b| {
+        b.iter(|| sram.write_at(Volts(0.4), 3, 0xBEEF, TimingDiscipline::Completion))
+    });
+    g.bench_function("read_bundled_1v", |b| {
+        b.iter(|| sram.read_at(Volts(1.0), 3, TimingDiscipline::bundled_nominal()))
+    });
+    g.bench_function("read_replica_0v4", |b| {
+        b.iter(|| sram.read_at(Volts(0.4), 3, TimingDiscipline::replica_default()))
+    });
+    g.finish();
+}
+
+fn bench_under_waveform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sram_waveform");
+    g.sample_size(20);
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+    let supply = Waveform::pwl([
+        (Seconds(0.0), 0.3),
+        (Seconds(10e-6), 0.3),
+        (Seconds(12e-6), 1.0),
+    ]);
+    g.bench_function("write_under_ramp", |b| {
+        b.iter(|| {
+            sram.write_under(
+                &supply,
+                Seconds(0.0),
+                0,
+                0xAAAA,
+                Seconds(100e-9),
+                Seconds(1.0),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    // Construction solves the Fig. 5 calibration, the energy anchors and
+    // the sensing floor — worth tracking.
+    c.bench_function("sram_model_construction", |b| {
+        b.iter(|| Sram::new(SramConfig::paper_1kbit()))
+    });
+}
+
+fn bench_workload_replay(c: &mut Criterion) {
+    use emc_sram::{replay, AddressPattern, MemoryWorkload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut g = c.benchmark_group("sram_workload");
+    g.sample_size(20);
+    let w = MemoryWorkload::generate(
+        500,
+        64,
+        0.4,
+        AddressPattern::Hotspot,
+        &mut StdRng::seed_from_u64(2),
+    );
+    g.bench_function("replay_500_ops_completion_0v5", |b| {
+        let mut sram = Sram::new(SramConfig::paper_1kbit());
+        b.iter(|| {
+            replay(
+                &mut sram,
+                &w,
+                &Waveform::constant(0.5),
+                TimingDiscipline::Completion,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_accesses,
+    bench_under_waveform,
+    bench_construction,
+    bench_workload_replay
+);
+criterion_main!(benches);

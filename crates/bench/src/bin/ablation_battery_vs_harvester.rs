@@ -1,0 +1,57 @@
+//! S8 — §II-B's opening contrast: battery supply (finite energy, ample
+//! stable power) versus harvester supply (unbounded energy, meagre
+//! unstable power), measured as work over deployment lifetime.
+
+use emc_bench::Series;
+use emc_power::{Battery, DcDcConverter, HarvestSource, PowerChain, StorageCap};
+use emc_units::{Farads, Joules, Seconds, Volts, Watts, Waveform};
+
+fn main() {
+    // The load: a duty-cycled sensing task needing 50 µJ per activation.
+    let task_energy = Joules(50e-6);
+
+    let mut s = Series::new(
+        "ablation_battery_vs_harvester",
+        "activations achievable vs deployment length (coin cell vs 50 µW harvester)",
+        &[
+            "deployment_days",
+            "battery_activations",
+            "harvester_activations",
+        ],
+    );
+    for days in [30.0, 180.0, 365.0, 1000.0, 3000.0, 10000.0] {
+        let seconds = days * 86_400.0;
+
+        // The application wants one activation per second, both supplies.
+        let wanted = seconds;
+
+        // Battery: everything it has, through a 90 % regulator, until
+        // empty — a fixed budget independent of deployment length.
+        let battery = Battery::coin_cell();
+        let battery_budget = battery.capacity().0 * 0.9;
+        let battery_activations = (battery_budget / task_energy.0).min(wanted).floor();
+
+        // Harvester: 50 µW average forever, end-to-end ≈ 80 % efficient.
+        let mut chain = PowerChain::new(
+            HarvestSource::Profile(Waveform::constant(50e-6)),
+            StorageCap::new(Farads(47e-6), Volts(0.2), Volts(1.1)),
+            DcDcConverter::new(Volts(0.5)),
+        );
+        // Simulate a representative hour and scale (constant income).
+        let mut delivered_hour = Joules(0.0);
+        for _ in 0..3_600 {
+            delivered_hour += chain.tick(Seconds(1.0), Watts(40e-6));
+        }
+        let delivered_total = delivered_hour.0 * (seconds / 3_600.0);
+        let harvester_activations = (delivered_total / task_energy.0).min(wanted).floor();
+
+        s.push(vec![days, battery_activations, harvester_activations]);
+    }
+    s.emit();
+    println!("Shape check: at one activation per second, the coin cell's fixed");
+    println!("~44M-activation budget serves the demand outright for short");
+    println!("deployments and then stops dead (~500 days); the harvester's");
+    println!("meagre 50 µW serves a lower steady rate but compounds forever, so");
+    println!("the curves cross within two years — the paper's case for");
+    println!("designing electronics for EH supplies in the first place.");
+}

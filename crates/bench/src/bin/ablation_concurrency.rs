@@ -1,0 +1,37 @@
+//! S3 — stochastic analysis of power, latency and degree of concurrency
+//! \[12\]: the M/M/K/N trade-off curves.
+
+use emc_bench::Series;
+use emc_sched::ConcurrencyModel;
+
+fn main() {
+    let model = ConcurrencyModel::new(8.0, 1.0, 32).with_power(0.5, 1.0);
+    let mut s = Series::new(
+        "ablation_concurrency",
+        "latency / power / energy-per-job vs degree of concurrency (λ=8, μ=1)",
+        &[
+            "k",
+            "mean_latency",
+            "mean_power",
+            "throughput",
+            "loss_prob",
+            "energy_per_job",
+        ],
+    );
+    for p in model.sweep(16) {
+        s.push(vec![
+            p.k as f64,
+            p.mean_latency,
+            p.mean_power,
+            p.throughput,
+            p.loss_probability,
+            p.energy_per_job,
+        ]);
+    }
+    s.emit();
+    println!("Shape check: latency collapses and throughput saturates once k");
+    println!("exceeds the offered load (the knee at k ≈ λ/μ = 8); power grows");
+    println!("with k; energy per job is minimised just past the knee where the");
+    println!("base power is amortised — the concurrency-degree trade-off the");
+    println!("paper's companion analysis [12] charts.");
+}

@@ -1,0 +1,60 @@
+//! S4 — game-theoretic power management \[16\]: best-response bidding for
+//! a shared power budget versus a static equal split.
+
+use emc_bench::Series;
+use emc_sched::{PowerGame, TaskBid};
+
+fn main() {
+    let mut s = Series::new(
+        "ablation_power_game",
+        "deadline misses & tardiness: equilibrium vs equal split, across budgets",
+        &[
+            "budget_W",
+            "eq_misses",
+            "game_misses",
+            "eq_tardiness",
+            "game_tardiness",
+            "rounds",
+        ],
+    );
+    for budget in [2.0, 2.5, 3.0, 4.0, 6.0] {
+        let game = PowerGame::new(
+            budget,
+            1e-4,
+            vec![
+                TaskBid {
+                    workload: 10.0,
+                    deadline: 5.0,
+                },
+                TaskBid {
+                    workload: 2.0,
+                    deadline: 10.0,
+                },
+                TaskBid {
+                    workload: 2.0,
+                    deadline: 10.0,
+                },
+                TaskBid {
+                    workload: 4.0,
+                    deadline: 8.0,
+                },
+            ],
+        );
+        let equal = game.equal_split();
+        let (bids, rounds) = game.best_response_dynamics(200);
+        let nash = game.allocation(&bids);
+        s.push(vec![
+            budget,
+            game.misses(&equal) as f64,
+            game.misses(&nash) as f64,
+            game.total_tardiness(&equal),
+            game.total_tardiness(&nash),
+            rounds as f64,
+        ]);
+    }
+    s.emit();
+    println!("Shape check: at tight budgets the equilibrium allocation routes");
+    println!("power to the urgent tasks and beats the static split on both");
+    println!("misses and tardiness; with a generous budget both policies meet");
+    println!("everything — the soft-arbitration picture of [16].");
+}

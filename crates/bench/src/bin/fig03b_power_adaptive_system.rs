@@ -1,0 +1,62 @@
+//! F3b — the composed power-adaptive system (§IV's two-way control) on a
+//! day-in-the-life harvest profile: style switches, elastic concurrency
+//! and energy-modulated work, in one time series.
+
+use emc_bench::Series;
+use emc_core::qos::DesignStyle;
+use emc_core::PowerAdaptiveSystem;
+use emc_power::{DcDcConverter, HarvestSource, PowerChain, StorageCap};
+use emc_sched::{ConcurrencyController, ConcurrencyModel};
+use emc_units::{Farads, Seconds, Volts, Watts, Waveform};
+
+fn main() {
+    // Income: strong morning, dead noon, weak afternoon, strong evening.
+    let income = Waveform::steps([
+        (Seconds(0.0), 400e-6),
+        (Seconds(100e-3), 0.0),
+        (Seconds(250e-3), 30e-6),
+        (Seconds(400e-3), 400e-6),
+    ]);
+    let chain = PowerChain::new(
+        HarvestSource::Profile(income),
+        StorageCap::new(Farads(4.7e-6), Volts(0.9), Volts(1.1)),
+        DcDcConverter::new(Volts(0.5)),
+    );
+    let elastic =
+        ConcurrencyController::new(ConcurrencyModel::new(8.0, 1.0, 32).with_power(0.1, 1.0), 8);
+    let mut sys = PowerAdaptiveSystem::new(chain, elastic, Seconds(1e-3), Watts(20e-6));
+
+    let ticks = sys.run(550);
+    let mut s = Series::new(
+        "fig03b",
+        "power-adaptive system time series (style: 1 = bundled, 0 = SI)",
+        &["t_ms", "v_store_mV", "style", "v_rail_V", "k", "ops"],
+    );
+    for t in ticks.iter().step_by(10) {
+        s.push(vec![
+            t.t.0 * 1e3,
+            t.v_store.0 * 1e3,
+            matches!(t.style, DesignStyle::BundledData) as u8 as f64,
+            t.v_rail.0,
+            t.concurrency as f64,
+            t.ops as f64,
+        ]);
+    }
+    s.emit();
+    let r = sys.report();
+    println!(
+        "totals: {} ops, {:.1} µJ harvested, {:.1} µJ delivered, {} style switches, {} gated steps",
+        r.ops,
+        r.harvested.0 * 1e6,
+        r.delivered.0 * 1e6,
+        r.style_switches,
+        r.gated_steps
+    );
+    println!("ops per harvested mJ: {:.0}", r.ops_per_joule() * 1e-3);
+    println!();
+    println!("Shape check: the system runs bundled at 1 V while the reservoir");
+    println!("is healthy, drops to the speed-independent style at the 0.4 V");
+    println!("minimum-energy rail as the store drains, throttles concurrency");
+    println!("with the income, and gates off only when the bank is empty —");
+    println!("computation modulated by energy, end to end.");
+}

@@ -1,0 +1,69 @@
+//! Fig. 8 — the voltage sensor in an EH-based power chain: the
+//! charge-to-digital sensor samples the reservoir and a bang-bang
+//! controller steers the DC-DC output rail.
+
+use emc_bench::Series;
+use emc_power::{DcDcConverter, HarvestSource, PowerChain, StorageCap};
+use emc_sensors::{ChargeToDigitalConverter, SensorLoop};
+use emc_units::{Farads, Seconds, Volts, Waveform};
+
+fn main() {
+    // A harvest profile that sags mid-run: strong, then weak, then strong.
+    let profile = Waveform::steps([
+        (Seconds(0.0), 250e-6),
+        (Seconds(40e-3), 8e-6),
+        (Seconds(110e-3), 250e-6),
+    ]);
+    let chain = PowerChain::new(
+        HarvestSource::Profile(profile),
+        StorageCap::new(Farads(4.7e-6), Volts(0.6), Volts(1.1)),
+        DcDcConverter::new(Volts(0.5)),
+    );
+    let sensor = ChargeToDigitalConverter::new(Farads(2e-12), 12);
+    let mut lp = SensorLoop::new(
+        chain,
+        sensor,
+        vec![Volts(0.3), Volts(0.5), Volts(0.7), Volts(1.0)],
+        Volts(0.45),
+        Volts(0.85),
+        Seconds(1e-3),
+    );
+    let records = lp.run(160, 220e-6);
+
+    let mut s = Series::new(
+        "fig08",
+        "sensor-in-the-loop: reservoir, sensed estimate, code, chosen rail",
+        &["t_ms", "v_store_mV", "estimate_mV", "code", "v_out_V"],
+    );
+    for r in records.iter().step_by(4) {
+        s.push(vec![
+            r.t.0 * 1e3,
+            r.v_store.0 * 1e3,
+            r.estimate.0 * 1e3,
+            r.code as f64,
+            r.v_out.0,
+        ]);
+    }
+    s.emit();
+
+    // Report sensing error only where the reservoir sits inside the
+    // sensor's calibrated range (below it the decode clamps to the range
+    // floor by design).
+    let worst = records
+        .iter()
+        .filter(|r| r.v_store.0 >= 0.15)
+        .map(|r| (r.estimate.0 - r.v_store.0).abs())
+        .fold(0.0_f64, f64::max);
+    let report = lp.chain().report();
+    println!("worst in-range sensing error in the loop: {:.1} mV", worst * 1e3);
+    println!(
+        "harvested {:.1} µJ, delivered {:.1} µJ, deficit {:.2} µJ",
+        report.harvested.0 * 1e6,
+        report.delivered.0 * 1e6,
+        report.deficit.0 * 1e6
+    );
+    println!();
+    println!("Shape check: the rail steps down when the harvest sags and back");
+    println!("up when it recovers — the controller acting purely on the self-");
+    println!("timed sensor's code, as in the paper's Fig. 8 chain.");
+}

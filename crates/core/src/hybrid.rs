@@ -1,0 +1,132 @@
+//! The power-adaptive hybrid: sense Vdd, pick the design style
+//! (the recommendation of paper §II-A).
+
+use emc_device::DeviceModel;
+use emc_sensors::ReferenceFreeSensor;
+use emc_sram::{CellKind, FailureAnalysis};
+use emc_units::Volts;
+
+use crate::qos::DesignStyle;
+
+/// A controller that senses the actual rail with the reference-free
+/// sensor and selects the design style:
+///
+/// * above the switch threshold — [`DesignStyle::BundledData`]
+///   (power-efficient);
+/// * below it — [`DesignStyle::SpeedIndependent`]
+///   (power-proportional, still correct).
+///
+/// The threshold is derived from where the bundled timing margin dies
+/// (the Fig. 5 mismatch), plus a guard band.
+#[derive(Debug, Clone)]
+pub struct HybridController {
+    sensor: ReferenceFreeSensor,
+    threshold: Volts,
+}
+
+impl HybridController {
+    /// A controller with an explicit switch threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not strictly positive.
+    pub fn new(threshold: Volts) -> Self {
+        assert!(threshold.0 > 0.0, "threshold must be positive");
+        Self {
+            sensor: ReferenceFreeSensor::new(8),
+            threshold,
+        }
+    }
+
+    /// A controller whose threshold is derived from the device model:
+    /// the bundled failure voltage for a 2×-margin design at 1 V, plus a
+    /// 50 mV guard band.
+    pub fn new_default() -> Self {
+        let device = DeviceModel::umc90();
+        let fa = FailureAnalysis::new(64, 1, CellKind::SixT);
+        let fail = fa
+            .bundled_failure_voltage(&device, Volts(1.0), 2.0)
+            .unwrap_or(Volts(0.3));
+        Self::new(Volts(fail.0 + 0.05))
+    }
+
+    /// The switch threshold.
+    pub fn threshold(&self) -> Volts {
+        self.threshold
+    }
+
+    /// Senses `actual_vdd` (through the reference-free sensor, so the
+    /// decision uses the *measured* voltage, quantisation error and all)
+    /// and picks the style.
+    pub fn choose(&self, actual_vdd: Volts) -> DesignStyle {
+        let sensed = self.sensor.measure_and_decode(clamp_to_sensor_range(actual_vdd));
+        if sensed >= self.threshold {
+            DesignStyle::BundledData
+        } else {
+            DesignStyle::SpeedIndependent
+        }
+    }
+
+    /// The QoS the hybrid would report at `vdd`: the chosen style's QoS
+    /// point (see [`crate::qos::measure_pipeline_qos`]).
+    pub fn qos_at(&self, vdd: Volts, seed: u64) -> crate::qos::QosPoint {
+        crate::qos::measure_pipeline_qos(self.choose(vdd), vdd, seed)
+    }
+}
+
+fn clamp_to_sensor_range(v: Volts) -> Volts {
+    Volts(v.0.clamp(
+        emc_sensors::reference_free::RANGE.0 .0,
+        emc_sensors::reference_free::RANGE.1 .0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_sits_between_the_regimes() {
+        let c = HybridController::new_default();
+        let t = c.threshold().0;
+        assert!((0.3..0.6).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn chooses_si_when_depleted_and_bundled_when_healthy() {
+        let c = HybridController::new_default();
+        assert_eq!(c.choose(Volts(0.2)), DesignStyle::SpeedIndependent);
+        assert_eq!(c.choose(Volts(0.3)), DesignStyle::SpeedIndependent);
+        assert_eq!(c.choose(Volts(0.8)), DesignStyle::BundledData);
+        assert_eq!(c.choose(Volts(1.0)), DesignStyle::BundledData);
+    }
+
+    #[test]
+    fn decision_is_based_on_the_sensed_value() {
+        // Just around the threshold the sensed (quantised) value decides;
+        // both outcomes are acceptable within the sensor's 10 mV error,
+        // but the decision must be stable for the same input.
+        let c = HybridController::new_default();
+        let v = c.threshold();
+        assert_eq!(c.choose(v), c.choose(v));
+    }
+
+    #[test]
+    fn hybrid_tracks_the_upper_envelope() {
+        let c = HybridController::new_default();
+        // At nominal the hybrid must match the bundled efficiency…
+        let at_nominal = c.qos_at(Volts(1.0), 7);
+        let d1 = crate::qos::measure_pipeline_qos(DesignStyle::SpeedIndependent, Volts(1.0), 7);
+        assert!(at_nominal.qos_per_watt() > d1.qos_per_watt());
+        // …and at depleted supply it must still deliver correct tokens.
+        let depleted = c.qos_at(Volts(0.16), 11);
+        assert!(depleted.correct_fraction > 0.99);
+        assert!(depleted.qos() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        let _ = HybridController::new(Volts(0.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! Energy-modulated computing: the paper's thesis as an API.
+//!
+//! *Energy-modulated computing* (Yakovlev, DATE 2011) argues that the
+//! flow of energy into a system should directly determine — modulate —
+//! its computation, and that such systems must be **power-adaptive**:
+//! two-way control between the supply side (harvester, storage, DC-DC)
+//! and the load side (self-timed circuits whose speed follows Vdd).
+//! This crate assembles the substrate crates into that argument:
+//!
+//! * [`proportionality`] — Fig. 1: an energy-proportional system (the
+//!   charge-to-digital converter, which computes *something* for any
+//!   quantum of energy) against a conventional system with a standing
+//!   overhead that produces nothing below its floor;
+//! * [`qos`] — Fig. 2: QoS (correct tokens per second) versus supply
+//!   voltage for **Design 1** (speed-independent dual-rail) and
+//!   **Design 2** (bundled data), measured by gate-level simulation,
+//!   including sub-threshold variation that silently corrupts Design 2;
+//! * [`hybrid`] — the paper's recommendation: a hybrid that senses Vdd
+//!   (with the reference-free sensor) and switches styles, tracking the
+//!   upper envelope of both curves;
+//! * [`strategy`] — §II-B's two supply strategies: gate the load at a
+//!   stabilised nominal rail, or run self-timed logic directly off the
+//!   varying rail;
+//! * [`holistic`] — Fig. 3: the closed loop (harvest → store → convert
+//!   → sense → schedule → compute), adaptive versus fixed, measured in
+//!   completed work per harvested joule.
+//!
+//! # Examples
+//!
+//! ```
+//! use emc_core::hybrid::HybridController;
+//! use emc_core::qos::DesignStyle;
+//! use emc_units::Volts;
+//!
+//! let ctl = HybridController::new_default();
+//! // Depleted supply: only the speed-independent style still delivers.
+//! assert_eq!(ctl.choose(Volts(0.25)), DesignStyle::SpeedIndependent);
+//! // Healthy supply: the bundled style is cheaper per token.
+//! assert_eq!(ctl.choose(Volts(1.0)), DesignStyle::BundledData);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod holistic;
+pub mod hybrid;
+pub mod proportionality;
+pub mod qos;
+pub mod strategy;
+pub mod system;
+
+pub use holistic::{HolisticExperiment, HolisticReport};
+pub use hybrid::HybridController;
+pub use proportionality::ActivityCurve;
+pub use qos::{measure_pipeline_qos, DesignStyle, QosPoint};
+pub use strategy::{StrategyReport, SupplyStrategy};
+pub use system::{PowerAdaptiveSystem, SystemReport, SystemTick};

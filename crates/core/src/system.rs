@@ -1,0 +1,298 @@
+//! The capstone facade: a complete power-adaptive system with two-way
+//! control between supply and computation.
+//!
+//! §IV of the paper: "Such systems must have two-way control and
+//! adaptation between the power source and computational load:
+//! (i) perform task scheduling according to the power profile, and
+//! (ii) optimize the supply to the load needs." [`PowerAdaptiveSystem`]
+//! wires everything this repository built into that loop:
+//!
+//! * the **supply side** is a [`PowerChain`] (harvester → storage →
+//!   DC-DC);
+//! * the **sensing** is the reference-free measurement embedded in the
+//!   [`HybridController`];
+//! * the **style decision** picks speed-independent or bundled circuits
+//!   from the sensed rail (Fig. 2's hybrid);
+//! * the **rate decision** picks the degree of concurrency affordable at
+//!   the harvested power ([`ConcurrencyController`], ref \[11\]);
+//! * the **load** is the SI SRAM, executing as many accesses as the
+//!   delivered energy and chosen concurrency allow.
+
+use emc_power::PowerChain;
+use emc_sched::ConcurrencyController;
+use emc_sram::{Sram, SramConfig, TimingDiscipline};
+use emc_units::{Joules, Seconds, Volts, Watts};
+
+use crate::hybrid::HybridController;
+use crate::qos::DesignStyle;
+
+/// One adaptation step's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemTick {
+    /// Time at the end of the step.
+    pub t: Seconds,
+    /// Reservoir voltage at the decision point.
+    pub v_store: Volts,
+    /// The style the hybrid controller selected.
+    pub style: DesignStyle,
+    /// The rail the load ran at this step.
+    pub v_rail: Volts,
+    /// Concurrency granted by the elastic controller (0 = gated off).
+    pub concurrency: usize,
+    /// Memory operations completed this step.
+    pub ops: u64,
+    /// Energy delivered to the load this step.
+    pub delivered: Joules,
+}
+
+/// Cumulative outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SystemReport {
+    /// Total memory operations completed.
+    pub ops: u64,
+    /// Total energy harvested.
+    pub harvested: Joules,
+    /// Total energy delivered to the load rail.
+    pub delivered: Joules,
+    /// Number of style switches (SI ↔ bundled).
+    pub style_switches: usize,
+    /// Steps spent fully gated off.
+    pub gated_steps: usize,
+}
+
+impl SystemReport {
+    /// Operations per harvested joule.
+    pub fn ops_per_joule(&self) -> f64 {
+        if self.harvested.0 <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.harvested.0
+        }
+    }
+}
+
+/// Accesses per scheduled job (a job is the scheduling quantum: a burst
+/// of SRAM work executed at hardware speed, then idle — duty cycling).
+const OPS_PER_JOB: u64 = 100;
+
+/// The composed power-adaptive system (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PowerAdaptiveSystem {
+    chain: PowerChain,
+    hybrid: HybridController,
+    elastic: ConcurrencyController,
+    sram: Sram,
+    tick: Seconds,
+    last_style: Option<DesignStyle>,
+    report: SystemReport,
+    /// Sustained power of one duty-cycled execution slot — the elastic
+    /// model's power unit in watts.
+    power_unit: Watts,
+    /// Income measured over the previous step (the power profile the
+    /// scheduler adapts to).
+    last_income: Watts,
+    prev_harvested: Joules,
+}
+
+impl PowerAdaptiveSystem {
+    /// Composes a system. `tick` is the adaptation period; `power_unit`
+    /// maps the elastic model's normalised per-server power onto watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` or `power_unit` is not strictly positive.
+    pub fn new(
+        chain: PowerChain,
+        elastic: ConcurrencyController,
+        tick: Seconds,
+        power_unit: Watts,
+    ) -> Self {
+        assert!(tick.0 > 0.0, "tick must be positive");
+        assert!(power_unit.0 > 0.0, "power unit must be positive");
+        Self {
+            chain,
+            hybrid: HybridController::new_default(),
+            elastic,
+            sram: Sram::new(SramConfig::paper_1kbit()),
+            tick,
+            last_style: None,
+            report: SystemReport::default(),
+            power_unit,
+            last_income: Watts(0.0),
+            prev_harvested: Joules(0.0),
+        }
+    }
+
+    /// The cumulative report.
+    pub fn report(&self) -> &SystemReport {
+        &self.report
+    }
+
+    /// Read access to the power chain.
+    pub fn chain(&self) -> &PowerChain {
+        &self.chain
+    }
+
+    /// Runs one adaptation step and returns its record.
+    pub fn step(&mut self) -> SystemTick {
+        let v_store = self.chain.storage().voltage();
+
+        // (ii) optimise the supply to the load: pick the style from the
+        // *sensed* rail, then set the DC-DC accordingly.
+        let style = self.hybrid.choose(v_store);
+        if let Some(prev) = self.last_style {
+            if prev != style {
+                self.report.style_switches += 1;
+            }
+        }
+        self.last_style = Some(style);
+        let (v_rail, discipline) = match style {
+            // Healthy supply: regulate up to nominal, run the cheap
+            // bundled design.
+            DesignStyle::BundledData => (Volts(1.0), TimingDiscipline::bundled_nominal()),
+            // Depleted supply: run self-timed at the minimum-energy
+            // point.
+            DesignStyle::SpeedIndependent => (Volts(0.4), TimingDiscipline::Completion),
+        };
+        self.chain.converter_mut().set_v_out(v_rail);
+
+        // (i) schedule to the power profile: the income seen over the
+        // previous step sets the concurrency budget. Each slot is a
+        // duty-cycled executor drawing `power_unit` sustained: jobs run
+        // at hardware speed, then the slot idles.
+        let probe = self.sram.write_at(v_rail, 0, 0xA5A5, discipline);
+        let e_op = probe.energy;
+        let t_op = probe.latency;
+        let job_energy = Joules(e_op.0 * OPS_PER_JOB as f64);
+        let mut k = self
+            .elastic
+            .best_k_under_power(self.last_income.0 / self.power_unit.0)
+            .unwrap_or(0);
+        // Energy-modulated trickle: even with no sustained income, banked
+        // charge buys jobs — run a single duty-cycled slot off the store.
+        if k == 0 && self.chain.storage().stored_energy().0 > 10.0 * job_energy.0 {
+            k = 1;
+        }
+
+        let mut ops = 0u64;
+        let delivered;
+        if k > 0 && e_op.0 > 0.0 && t_op.0.is_finite() {
+            let demand = Watts(self.power_unit.0 * k as f64);
+            delivered = self.chain.tick(self.tick, demand);
+            // Jobs per slot per second at the sustained slot power.
+            let mu = self.power_unit.0 / job_energy.0;
+            let by_schedule = (k as f64 * mu * self.tick.0).floor();
+            let by_energy = (delivered.0 / job_energy.0).floor();
+            let by_time = (self.tick.0 / t_op.0 / OPS_PER_JOB as f64 * k as f64).floor();
+            let jobs = by_schedule.min(by_energy).min(by_time).max(0.0) as u64;
+            ops = jobs * OPS_PER_JOB;
+            self.report.ops += ops;
+            if jobs == 0 {
+                self.report.gated_steps += 1;
+            }
+        } else {
+            self.report.gated_steps += 1;
+            delivered = self.chain.tick(self.tick, Watts(0.0));
+        }
+        self.report.delivered += delivered;
+        let harvested = self.chain.report().harvested;
+        self.last_income = Watts((harvested.0 - self.prev_harvested.0).max(0.0) / self.tick.0);
+        self.prev_harvested = harvested;
+        self.report.harvested = harvested;
+
+        SystemTick {
+            t: self.chain.now(),
+            v_store,
+            style,
+            v_rail,
+            concurrency: k,
+            ops,
+            delivered,
+        }
+    }
+
+    /// Runs `n` steps, returning their records.
+    pub fn run(&mut self, n: usize) -> Vec<SystemTick> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_power::{DcDcConverter, HarvestSource, StorageCap};
+    use emc_sched::ConcurrencyModel;
+    use emc_units::{Farads, Waveform};
+
+    fn system(income: Waveform, v0: f64) -> PowerAdaptiveSystem {
+        let chain = PowerChain::new(
+            HarvestSource::Profile(income),
+            StorageCap::new(Farads(4.7e-6), Volts(v0), Volts(1.1)),
+            DcDcConverter::new(Volts(0.5)),
+        );
+        let elastic =
+            ConcurrencyController::new(ConcurrencyModel::new(8.0, 1.0, 32).with_power(0.1, 1.0), 8);
+        // One normalised power unit = 20 µW per concurrency slot.
+        PowerAdaptiveSystem::new(chain, elastic, Seconds(1e-3), Watts(20e-6))
+    }
+
+    #[test]
+    fn abundant_supply_runs_bundled_at_nominal() {
+        let mut sys = system(Waveform::constant(400e-6), 1.0);
+        let ticks = sys.run(50);
+        let last = ticks.last().unwrap();
+        assert_eq!(last.style, DesignStyle::BundledData);
+        assert_eq!(last.v_rail, Volts(1.0));
+        assert!(last.concurrency > 0);
+        assert!(sys.report().ops > 0);
+    }
+
+    #[test]
+    fn depleted_supply_switches_to_si_at_the_mep() {
+        let mut sys = system(Waveform::constant(2e-6), 0.30);
+        let ticks = sys.run(50);
+        let last = ticks.last().unwrap();
+        assert_eq!(last.style, DesignStyle::SpeedIndependent);
+        assert_eq!(last.v_rail, Volts(0.4));
+    }
+
+    #[test]
+    fn swinging_harvest_produces_style_switches() {
+        // Strong → dead → strong income swings the reservoir through the
+        // hybrid threshold.
+        let income = Waveform::steps([
+            (Seconds(0.0), 500e-6),
+            (Seconds(50e-3), 0.0),
+            (Seconds(250e-3), 500e-6),
+        ]);
+        let mut sys = system(income, 0.9);
+        let ticks = sys.run(400);
+        assert!(
+            sys.report().style_switches >= 2,
+            "expected switches, got {} (final style {:?})",
+            sys.report().style_switches,
+            ticks.last().unwrap().style
+        );
+    }
+
+    #[test]
+    fn starved_system_eventually_gates_off() {
+        // No income: the banked charge buys a trickle of jobs, then the
+        // system gates off for good.
+        let mut sys = system(Waveform::constant(0.0), 0.15);
+        let ticks = sys.run(300);
+        assert!(sys.report().gated_steps > 0);
+        let last = ticks.last().unwrap();
+        assert_eq!(last.ops, 0, "a drained system must stop computing");
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let mut sys = system(Waveform::constant(100e-6), 0.7);
+        let ticks = sys.run(100);
+        let total_ops: u64 = ticks.iter().map(|t| t.ops).sum();
+        assert_eq!(total_ops, sys.report().ops);
+        assert!(sys.report().delivered <= sys.report().harvested + Joules(4.7e-6 * 1.21 / 2.0));
+        assert!(sys.report().ops_per_joule() > 0.0);
+    }
+}

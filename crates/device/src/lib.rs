@@ -1,0 +1,52 @@
+//! CMOS device-level delay, energy and leakage models across the
+//! 0.2 V – 1 V Vdd range.
+//!
+//! The paper's design examples (self-timed SRAM, charge-to-digital
+//! converter, reference-free voltage sensor) all hinge on *how gate timing
+//! and energy scale with supply voltage*, from deep sub-threshold
+//! (Vdd ≈ 0.2 V, delays in microseconds) up to nominal 90 nm supply
+//! (Vdd = 1 V, delays in tens of picoseconds). This crate is the
+//! behavioural substitute for the UMC 90 nm SPICE models used by the
+//! authors:
+//!
+//! * [`ProcessParams`] — technology constants (threshold voltage,
+//!   sub-threshold slope, specific current, capacitances, leakage),
+//!   with process-corner and temperature adjustment;
+//! * [`DeviceModel`] — the continuous EKV-style on-current
+//!   `I_on(V) = Is·ln²(1 + e^((V−Vt)/(2nφt)))`, from which gate delay
+//!   `t = kd·C·V/I_on(V)`, switching energy `E = C·V²` and leakage are
+//!   derived. The EKV interpolation is exactly what makes one formula
+//!   valid from sub-threshold (exponential in V) to strong inversion
+//!   (polynomial in V − Vt);
+//! * [`calibration`] — the SRAM-vs-logic delay-scaling mismatch of the
+//!   paper's Fig. 5, solved numerically so that an SRAM read costs
+//!   **50 inverter delays at 1 V and 158 at 190 mV**, the two anchor
+//!   points the paper reports;
+//! * [`variation`] — seeded Monte-Carlo threshold-voltage variation for
+//!   failure and corner analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use emc_device::DeviceModel;
+//! use emc_units::Volts;
+//!
+//! let dev = DeviceModel::umc90();
+//! let fast = dev.inverter_delay(Volts(1.0));
+//! let slow = dev.inverter_delay(Volts(0.2));
+//! // Sub-threshold operation is orders of magnitude slower but functional.
+//! assert!(slow.0 / fast.0 > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod model;
+pub mod params;
+pub mod variation;
+
+pub use calibration::SramLogicCalibration;
+pub use model::DeviceModel;
+pub use params::{ProcessCorner, ProcessParams};
+pub use variation::VariationModel;

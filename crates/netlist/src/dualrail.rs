@@ -1,0 +1,175 @@
+//! Dual-rail signal encoding.
+//!
+//! In the paper's "Design 1" — the power-proportional, speed-independent
+//! style — every logical bit travels on **two wires**: `t` (true rail) and
+//! `f` (false rail). The encoding is a return-to-zero handshake alphabet:
+//!
+//! | `t` | `f` | meaning |
+//! |---|---|---|
+//! | 0 | 0 | *spacer* — no data in flight |
+//! | 1 | 0 | valid **1** |
+//! | 0 | 1 | valid **0** |
+//! | 1 | 1 | illegal (detected as an error) |
+//!
+//! Because validity is visible on the wires themselves, a completion
+//! detector (OR per bit, C-element across bits) can announce when *all*
+//! bits of a word have arrived — no clock, no matched delay, which is why
+//! dual-rail logic keeps working as Vdd wanders down to 0.2 V.
+
+use crate::graph::{NetId, Netlist};
+use crate::GateKind;
+
+/// The two nets carrying one dual-rail bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DualRail {
+    /// True rail: high when the bit is a valid 1.
+    pub t: NetId,
+    /// False rail: high when the bit is a valid 0.
+    pub f: NetId,
+}
+
+/// Decoded state of a dual-rail bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DualRailValue {
+    /// Both rails low: the return-to-zero spacer.
+    Spacer,
+    /// A valid logic value.
+    Valid(bool),
+    /// Both rails high — a protocol violation.
+    Illegal,
+}
+
+impl DualRail {
+    /// Declares a dual-rail input bit named `name` (nets `name.t`,
+    /// `name.f`).
+    pub fn input(netlist: &mut Netlist, name: &str) -> Self {
+        let t = netlist.input(&format!("{name}.t"));
+        let f = netlist.input(&format!("{name}.f"));
+        Self { t, f }
+    }
+
+    /// Decodes rail levels into a [`DualRailValue`].
+    pub fn decode(t: bool, f: bool) -> DualRailValue {
+        match (t, f) {
+            (false, false) => DualRailValue::Spacer,
+            (true, false) => DualRailValue::Valid(true),
+            (false, true) => DualRailValue::Valid(false),
+            (true, true) => DualRailValue::Illegal,
+        }
+    }
+
+    /// Builds this bit's *validity* signal: `t OR f`, high exactly when a
+    /// codeword (not the spacer) is present.
+    pub fn validity(self, netlist: &mut Netlist, name: &str) -> NetId {
+        netlist.gate(GateKind::Or, &[self.t, self.f], name)
+    }
+}
+
+/// Builds a word-level completion detector over `bits`: per-bit OR
+/// followed by a C-element tree. The output rises when **every** bit holds
+/// a codeword and falls when **every** bit has returned to spacer — the
+/// "done" signal that replaces the clock in speed-independent design.
+///
+/// For a single bit the per-bit OR itself is the completion signal.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn completion_detector(netlist: &mut Netlist, bits: &[DualRail], name: &str) -> NetId {
+    assert!(!bits.is_empty(), "completion detector over zero bits");
+    let mut layer: Vec<NetId> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b.validity(netlist, &format!("{name}.v{i}")))
+        .collect();
+    let mut level = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            match pair {
+                [a, b] => next.push(netlist.gate(
+                    GateKind::CElement,
+                    &[*a, *b],
+                    &format!("{name}.c{level}_{i}"),
+                )),
+                [a] => next.push(*a),
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_all_four_states() {
+        assert_eq!(DualRail::decode(false, false), DualRailValue::Spacer);
+        assert_eq!(DualRail::decode(true, false), DualRailValue::Valid(true));
+        assert_eq!(DualRail::decode(false, true), DualRailValue::Valid(false));
+        assert_eq!(DualRail::decode(true, true), DualRailValue::Illegal);
+    }
+
+    #[test]
+    fn input_declares_two_nets() {
+        let mut n = Netlist::new();
+        let bit = DualRail::input(&mut n, "d0");
+        assert_eq!(n.net_name(bit.t), "d0.t");
+        assert_eq!(n.net_name(bit.f), "d0.f");
+        assert_ne!(bit.t, bit.f);
+    }
+
+    #[test]
+    fn validity_is_an_or_gate() {
+        let mut n = Netlist::new();
+        let bit = DualRail::input(&mut n, "d0");
+        let v = bit.validity(&mut n, "d0.valid");
+        let drv = n.driver_of(v).unwrap();
+        assert_eq!(n.gate_ref(drv).kind(), GateKind::Or);
+        assert_eq!(n.gate_ref(drv).inputs(), &[bit.t, bit.f]);
+    }
+
+    #[test]
+    fn completion_detector_single_bit_is_or() {
+        let mut n = Netlist::new();
+        let bits = [DualRail::input(&mut n, "d0")];
+        let done = completion_detector(&mut n, &bits, "cd");
+        assert_eq!(n.gate_ref(n.driver_of(done).unwrap()).kind(), GateKind::Or);
+    }
+
+    #[test]
+    fn completion_detector_tree_shape() {
+        let mut n = Netlist::new();
+        let bits: Vec<DualRail> = (0..4).map(|i| DualRail::input(&mut n, &format!("d{i}"))).collect();
+        let done = completion_detector(&mut n, &bits, "cd");
+        n.mark_output(done);
+        assert!(n.check().is_ok());
+        let h = n.kind_histogram();
+        // 4 ORs (validity) + 3 C-elements (binary tree over 4 leaves).
+        assert_eq!(h.get("OR"), Some(&4));
+        assert_eq!(h.get("C"), Some(&3));
+        assert_eq!(n.gate_ref(n.driver_of(done).unwrap()).kind(), GateKind::CElement);
+    }
+
+    #[test]
+    fn completion_detector_odd_width() {
+        let mut n = Netlist::new();
+        let bits: Vec<DualRail> = (0..5).map(|i| DualRail::input(&mut n, &format!("d{i}"))).collect();
+        let done = completion_detector(&mut n, &bits, "cd");
+        n.mark_output(done);
+        assert!(n.check().is_ok());
+        // 5 leaves → 3 pairs-ish: C(5) = 4 C-elements in an uneven tree.
+        assert_eq!(n.kind_histogram().get("C"), Some(&4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bits")]
+    fn completion_detector_rejects_empty() {
+        let mut n = Netlist::new();
+        let _ = completion_detector(&mut n, &[], "cd");
+    }
+}

@@ -1,0 +1,195 @@
+//! Netlist export: structural Verilog and Graphviz dot.
+//!
+//! The Verilog writer emits one module instantiating a primitive per
+//! gate, so circuits built here can be handed to standard EDA tooling
+//! (equivalence checkers, commercial simulators, synthesis for the
+//! bundled baselines). The dot writer draws the circuit graph for
+//! documentation and debugging.
+
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::graph::Netlist;
+
+/// Renders the netlist as a structural Verilog module named `name`.
+///
+/// Gate kinds map onto Verilog primitives where one exists (`and`,
+/// `nand`, `or`, `nor`, `xor`, `xnor`, `not`, `buf`); the asynchronous
+/// primitives (C-element, toggle, SR latch, majority, DFF) are emitted
+/// as instantiations of reference cells (`EMC_CELEM`, `EMC_TOGGLE`,
+/// `EMC_SR`, `EMC_MAJ3`, `EMC_DFF`) whose behavioural models a consumer
+/// provides — the conventional flow for async cells, which no stock
+/// library carries.
+///
+/// Inputs become module inputs; nets marked as outputs become module
+/// outputs; everything else is a wire.
+pub fn to_verilog(netlist: &Netlist, name: &str) -> String {
+    let mut ports_in = Vec::new();
+    let mut body = String::new();
+    let wire_name = |i: usize| format!("n{i}");
+
+    for (_, g) in netlist.iter_gates() {
+        if g.kind() == GateKind::Input {
+            ports_in.push(wire_name(g.output().index()));
+        }
+    }
+    let ports_out: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|n| wire_name(n.index()))
+        .collect();
+
+    let mut out = String::new();
+    let mut ports = ports_in.clone();
+    ports.extend(ports_out.iter().cloned());
+    let _ = writeln!(out, "module {name} ({});", ports.join(", "));
+    for p in &ports_in {
+        let _ = writeln!(out, "  input {p};");
+    }
+    for p in &ports_out {
+        let _ = writeln!(out, "  output {p};");
+    }
+    for net in netlist.iter_nets() {
+        let nm = wire_name(net.index());
+        if !ports.contains(&nm) {
+            let _ = writeln!(out, "  wire {nm};");
+        }
+    }
+
+    for (gid, g) in netlist.iter_gates() {
+        let y = wire_name(g.output().index());
+        let ins: Vec<String> = g.inputs().iter().map(|n| wire_name(n.index())).collect();
+        let inst = format!("g{}", gid.index());
+        let line = match g.kind() {
+            GateKind::Input => continue,
+            GateKind::Const0 => format!("  assign {y} = 1'b0;"),
+            GateKind::Const1 => format!("  assign {y} = 1'b1;"),
+            GateKind::Buf => format!("  buf {inst} ({y}, {});", ins[0]),
+            GateKind::Inv => format!("  not {inst} ({y}, {});", ins[0]),
+            GateKind::And => format!("  and {inst} ({y}, {});", ins.join(", ")),
+            GateKind::Nand => format!("  nand {inst} ({y}, {});", ins.join(", ")),
+            GateKind::Or => format!("  or {inst} ({y}, {});", ins.join(", ")),
+            GateKind::Nor => format!("  nor {inst} ({y}, {});", ins.join(", ")),
+            GateKind::Xor => format!("  xor {inst} ({y}, {});", ins.join(", ")),
+            GateKind::Xnor => format!("  xnor {inst} ({y}, {});", ins.join(", ")),
+            GateKind::CElement => {
+                format!("  EMC_CELEM #({}) {inst} ({y}, {});", ins.len(), ins.join(", "))
+            }
+            GateKind::Majority3 => format!("  EMC_MAJ3 {inst} ({y}, {});", ins.join(", ")),
+            GateKind::SrLatch => format!("  EMC_SR {inst} ({y}, {});", ins.join(", ")),
+            GateKind::Toggle => format!("  EMC_TOGGLE {inst} ({y}, {});", ins[0]),
+            GateKind::Dff => format!("  EMC_DFF {inst} ({y}, {});", ins.join(", ")),
+        };
+        let _ = writeln!(body, "{line} // {}", netlist.net_name(g.output()));
+    }
+    out.push_str(&body);
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Renders the netlist as a Graphviz digraph: boxes for gates, labelled
+/// with kind and output-net name; edges follow the wires.
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::from("digraph netlist {\n  rankdir=LR;\n  node [shape=box];\n");
+    for (gid, g) in netlist.iter_gates() {
+        let shape = if g.kind().is_source() {
+            "ellipse"
+        } else if g.kind().is_state_holding() {
+            "box3d"
+        } else {
+            "box"
+        };
+        let _ = writeln!(
+            out,
+            "  g{} [label=\"{} {}\" shape={shape}];",
+            gid.index(),
+            g.kind(),
+            netlist.net_name(g.output())
+        );
+    }
+    for (gid, g) in netlist.iter_gates() {
+        for net in g.inputs() {
+            if let Some(src) = netlist.driver_of(*net) {
+                let _ = writeln!(out, "  g{} -> g{};", src.index(), gid.index());
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Netlist;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.gate(GateKind::Nand, &[a, b], "x");
+        let c = n.gate(GateKind::CElement, &[a, x], "c");
+        let one = n.constant(true, "tie1");
+        let y = n.gate(GateKind::Xor, &[c, one], "y");
+        n.mark_output(y);
+        n
+    }
+
+    #[test]
+    fn verilog_has_module_ports_and_gates() {
+        let v = to_verilog(&sample(), "sample");
+        assert!(v.starts_with("module sample (n0, n1, n5);"));
+        assert!(v.contains("input n0;"));
+        assert!(v.contains("output n5;"));
+        assert!(v.contains("nand g2 (n2, n0, n1);"));
+        assert!(v.contains("EMC_CELEM #(2) g3 (n3, n0, n2);"));
+        assert!(v.contains("assign n4 = 1'b1;"));
+        assert!(v.contains("xor g5 (n5, n3, n4);"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn verilog_wires_declared_once() {
+        let v = to_verilog(&sample(), "m");
+        // n2, n3, n4 are internal wires.
+        assert_eq!(v.matches("wire n2;").count(), 1);
+        assert_eq!(v.matches("wire n3;").count(), 1);
+        // Ports are not re-declared as wires.
+        assert!(!v.contains("wire n0;"));
+        assert!(!v.contains("wire n5;"));
+    }
+
+    #[test]
+    fn verilog_comments_carry_net_names() {
+        let v = to_verilog(&sample(), "m");
+        assert!(v.contains("// x"));
+        assert!(v.contains("// c"));
+    }
+
+    #[test]
+    fn dot_draws_every_gate_and_edge() {
+        let d = to_dot(&sample());
+        assert!(d.starts_with("digraph netlist {"));
+        // 6 gates (2 inputs + nand + C + const + xor).
+        assert_eq!(d.matches("label=").count(), 6);
+        // Edges: nand has 2, C has 2, xor has 2.
+        assert_eq!(d.matches(" -> ").count(), 6);
+        // State-holding gates get the 3-D shape, sources ellipses.
+        assert!(d.contains("shape=box3d"));
+        assert!(d.contains("shape=ellipse"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn exports_work_on_toggle_and_dff() {
+        let mut n = Netlist::new();
+        let clk = n.input("clk");
+        let d = n.input("d");
+        let q = n.gate(GateKind::Dff, &[clk, d], "q");
+        let t = n.gate(GateKind::Toggle, &[q], "t");
+        n.mark_output(t);
+        let v = to_verilog(&n, "ff");
+        assert!(v.contains("EMC_DFF g2 (n2, n0, n1);"));
+        assert!(v.contains("EMC_TOGGLE g3 (n3, n2);"));
+    }
+}

@@ -1,0 +1,547 @@
+//! The circuit graph: nets, gates, builder API and well-formedness checks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// Identifier of a net (a wire). Created by the [`Netlist`] builder
+/// methods; only meaningful for the netlist that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(usize);
+
+impl NetId {
+    /// Dense index of this net in `0..netlist.net_count()`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a gate instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(usize);
+
+impl GateId {
+    /// Dense index of this gate in `0..netlist.gate_count()`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+    drive: f64,
+}
+
+impl Gate {
+    /// The gate's primitive kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets, in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The single output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Drive strength relative to a unit inverter.
+    pub fn drive(&self) -> f64 {
+        self.drive
+    }
+}
+
+/// Structural problems reported by [`Netlist::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cycle passes through combinational gates only; with no
+    /// state-holding gate to break it the circuit would oscillate or
+    /// deadlock analysis.
+    CombinationalLoop {
+        /// One net on the offending cycle.
+        witness: NetId,
+    },
+    /// A net drives nothing and was not marked as a circuit output.
+    FloatingNet {
+        /// The undriven-fanout net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::CombinationalLoop { witness } => {
+                write!(f, "combinational loop through net {witness}")
+            }
+            NetlistError::FloatingNet { net } => {
+                write!(f, "net {net} has no fanout and is not an output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// An append-only gate-level circuit.
+///
+/// Every builder method (`input`, `gate`, …) allocates and returns the
+/// gate's output [`NetId`]; inputs of later gates refer to earlier nets,
+/// so a netlist is constructed in topological order of declaration (which
+/// does **not** restrict connectivity: state-holding feedback is closed
+/// with [`Netlist::connect_feedback`]).
+///
+/// # Examples
+///
+/// A toggle stage's rendezvous (see the paper's Fig. 10):
+///
+/// ```
+/// use emc_netlist::{GateKind, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let req = n.input("req");
+/// let ack = n.input("ack");
+/// let c = n.gate(GateKind::CElement, &[req, ack], "sync");
+/// n.mark_output(c);
+/// assert!(n.check().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    net_driver: Vec<Option<GateId>>,
+    net_names: Vec<String>,
+    fanout: Vec<Vec<GateId>>,
+    outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn new_net(&mut self, name: &str) -> NetId {
+        let id = NetId(self.net_names.len());
+        self.net_names.push(name.to_owned());
+        self.net_driver.push(None);
+        self.fanout.push(Vec::new());
+        id
+    }
+
+    /// Adds an external input and returns its net.
+    pub fn input(&mut self, name: &str) -> NetId {
+        self.add_gate(GateKind::Input, &[], 1.0, name)
+    }
+
+    /// Adds a constant-0 or constant-1 source and returns its net.
+    pub fn constant(&mut self, value: bool, name: &str) -> NetId {
+        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        self.add_gate(kind, &[], 1.0, name)
+    }
+
+    /// Adds a unit-drive gate and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count violates the kind's arity or any input
+    /// net does not belong to this netlist.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId], name: &str) -> NetId {
+        self.add_gate(kind, inputs, 1.0, name)
+    }
+
+    /// Adds a gate with explicit drive strength and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity violation, foreign input nets, or non-positive
+    /// `drive`.
+    pub fn gate_with_drive(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        drive: f64,
+        name: &str,
+    ) -> NetId {
+        self.add_gate(kind, inputs, drive, name)
+    }
+
+    fn add_gate(&mut self, kind: GateKind, inputs: &[NetId], drive: f64, name: &str) -> NetId {
+        let (lo, hi) = kind.arity();
+        assert!(
+            inputs.len() >= lo && inputs.len() <= hi,
+            "{kind} expects between {lo} and {hi} inputs, got {} (gate '{name}')",
+            inputs.len()
+        );
+        assert!(drive > 0.0, "drive strength must be positive (gate '{name}')");
+        for &i in inputs {
+            assert!(
+                i.0 < self.net_names.len(),
+                "input net {i} does not belong to this netlist (gate '{name}')"
+            );
+        }
+        let output = self.new_net(name);
+        let gid = GateId(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            drive,
+        });
+        self.net_driver[output.0] = Some(gid);
+        for &i in inputs {
+            self.fanout[i.0].push(gid);
+        }
+        output
+    }
+
+    /// Appends `net` to the input list of the gate driving `target` —
+    /// closing a feedback arc that could not be expressed during forward
+    /// construction (e.g. a C-element waiting on its own downstream
+    /// acknowledge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` has no driver, the extended input list would
+    /// violate the driver's arity, or either net is foreign.
+    pub fn connect_feedback(&mut self, target: NetId, net: NetId) {
+        assert!(net.0 < self.net_names.len(), "foreign feedback net");
+        let gid = self.net_driver[target.0].expect("feedback target has no driver");
+        let gate = &mut self.gates[gid.0];
+        gate.inputs.push(net);
+        let (lo, hi) = gate.kind.arity();
+        assert!(
+            gate.inputs.len() >= lo && gate.inputs.len() <= hi,
+            "feedback would violate {} arity",
+            gate.kind
+        );
+        self.fanout[net.0].push(gid);
+    }
+
+    /// Declares `net` as a circuit output (observed by the environment),
+    /// exempting it from the floating-net check.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Declared circuit outputs.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate_ref(&self, id: GateId) -> &Gate {
+        &self.gates[id.0]
+    }
+
+    /// Recovers the [`GateId`] at dense `index` (the inverse of
+    /// [`GateId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.gate_count()`.
+    pub fn gate_id(&self, index: usize) -> GateId {
+        assert!(index < self.gates.len(), "gate index out of range");
+        GateId(index)
+    }
+
+    /// Iterates over `(GateId, &Gate)` in construction order.
+    pub fn iter_gates(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates.iter().enumerate().map(|(i, g)| (GateId(i), g))
+    }
+
+    /// All net ids in construction order.
+    pub fn iter_nets(&self) -> impl Iterator<Item = NetId> {
+        (0..self.net_names.len()).map(NetId)
+    }
+
+    /// The name given to `net` at construction.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// The gate driving `net`, if any (inputs and constants drive their own
+    /// nets, so in a checked netlist this is always `Some`).
+    pub fn driver_of(&self, net: NetId) -> Option<GateId> {
+        self.net_driver[net.0]
+    }
+
+    /// Gates whose inputs include `net`.
+    pub fn fanout(&self, net: NetId) -> Vec<GateId> {
+        self.fanout[net.0].clone()
+    }
+
+    /// Total input load presented by the fanout of `net`, in unit-inverter
+    /// gate capacitances (see [`GateKind::input_load_factor`]).
+    pub fn fanout_load_units(&self, net: NetId) -> f64 {
+        self.fanout[net.0]
+            .iter()
+            .map(|g| self.gates[g.0].kind.input_load_factor())
+            .sum()
+    }
+
+    /// Histogram of gate kinds — the "transistor budget" report.
+    pub fn kind_histogram(&self) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for g in &self.gates {
+            *h.entry(g.kind.to_string()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Validates the netlist structure.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::CombinationalLoop`] if a cycle exists that passes
+    ///   through combinational gates only;
+    /// * [`NetlistError::FloatingNet`] if a non-output net has no fanout.
+    pub fn check(&self) -> Result<(), NetlistError> {
+        // Floating nets.
+        for net in self.iter_nets() {
+            if self.fanout[net.0].is_empty() && !self.outputs.contains(&net) {
+                return Err(NetlistError::FloatingNet { net });
+            }
+        }
+        // Combinational loops: DFS over gates, not entering state-holding
+        // or source gates (they legitimately close feedback).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; self.gates.len()];
+        // Iterative DFS with an explicit stack to survive deep chains.
+        for start in 0..self.gates.len() {
+            if marks[start] != Mark::White
+                || self.gates[start].kind.is_state_holding()
+                || self.gates[start].kind.is_source()
+            {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            marks[start] = Mark::Grey;
+            while let Some(&mut (g, ref mut next)) = stack.last_mut() {
+                let gate = &self.gates[g];
+                if *next < gate.inputs.len() {
+                    let input_net = gate.inputs[*next];
+                    *next += 1;
+                    if let Some(pred) = self.net_driver[input_net.0] {
+                        let p = pred.0;
+                        let pk = self.gates[p].kind;
+                        if pk.is_state_holding() || pk.is_source() {
+                            continue;
+                        }
+                        match marks[p] {
+                            Mark::Grey => {
+                                return Err(NetlistError::CombinationalLoop {
+                                    witness: self.gates[p].output,
+                                });
+                            }
+                            Mark::White => {
+                                marks[p] = Mark::Grey;
+                                stack.push((p, 0));
+                            }
+                            Mark::Black => {}
+                        }
+                    }
+                } else {
+                    marks[g] = Mark::Black;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_sequential_ids() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.gate(GateKind::Nand, &[a, b], "y");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(y.index(), 2);
+        assert_eq!(n.net_count(), 3);
+        assert_eq!(n.gate_count(), 3);
+        assert_eq!(n.net_name(y), "y");
+    }
+
+    #[test]
+    fn driver_and_fanout_queries() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Inv, &[a], "y");
+        let z = n.gate(GateKind::Inv, &[a], "z");
+        let drv_y = n.driver_of(y).unwrap();
+        assert_eq!(n.gate_ref(drv_y).kind(), GateKind::Inv);
+        assert_eq!(n.gate_ref(drv_y).inputs(), &[a]);
+        assert_eq!(n.fanout(a).len(), 2);
+        assert_eq!(n.fanout(z).len(), 0);
+        assert!((n.fanout_load_units(a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects between")]
+    fn arity_enforced_at_construction() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let _ = n.gate(GateKind::CElement, &[a], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "drive strength")]
+    fn non_positive_drive_rejected() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let _ = n.gate_with_drive(GateKind::Inv, &[a], 0.0, "bad");
+    }
+
+    #[test]
+    fn floating_net_detected_and_output_exempts() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Inv, &[a], "y");
+        assert_eq!(n.check(), Err(NetlistError::FloatingNet { net: y }));
+        n.mark_output(y);
+        assert!(n.check().is_ok());
+        assert_eq!(n.outputs(), &[y]);
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Nand, &[a, a], "y"); // placeholder second input
+        let z = n.gate(GateKind::Inv, &[y], "z");
+        // Close the loop z → y through combinational gates only.
+        n.connect_feedback(y, z);
+        n.mark_output(z);
+        assert!(matches!(
+            n.check(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn state_holding_gate_breaks_loop() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let c = n.gate(GateKind::CElement, &[a, a], "c");
+        let inv = n.gate(GateKind::Inv, &[c], "inv");
+        n.connect_feedback(c, inv); // ring oscillator through a C-element
+        n.mark_output(inv);
+        assert!(n.check().is_ok());
+    }
+
+    #[test]
+    fn ring_oscillator_through_invs_is_a_loop() {
+        let mut n = Netlist::new();
+        let a = n.input("en");
+        let g1 = n.gate(GateKind::Nand, &[a, a], "g1");
+        let g2 = n.gate(GateKind::Inv, &[g1], "g2");
+        let g3 = n.gate(GateKind::Inv, &[g2], "g3");
+        n.connect_feedback(g1, g3);
+        n.mark_output(g3);
+        assert!(matches!(
+            n.check(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn feedback_updates_fanout() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let c = n.gate(GateKind::CElement, &[a, a], "c");
+        let inv = n.gate(GateKind::Inv, &[c], "inv");
+        n.connect_feedback(c, inv);
+        assert!(n.fanout(inv).contains(&n.driver_of(c).unwrap()));
+        let g = n.gate_ref(n.driver_of(c).unwrap());
+        assert_eq!(g.inputs().len(), 3);
+    }
+
+    #[test]
+    fn constants_and_histogram() {
+        let mut n = Netlist::new();
+        let one = n.constant(true, "vdd_tie");
+        let zero = n.constant(false, "gnd_tie");
+        let y = n.gate(GateKind::Or, &[one, zero], "y");
+        n.mark_output(y);
+        assert!(n.check().is_ok());
+        let h = n.kind_histogram();
+        assert_eq!(h.get("CONST1"), Some(&1));
+        assert_eq!(h.get("CONST0"), Some(&1));
+        assert_eq!(h.get("OR"), Some(&1));
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        n.mark_output(a);
+        n.mark_output(a);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    fn display_ids() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        assert_eq!(a.to_string(), "n0");
+        assert_eq!(n.driver_of(a).unwrap().to_string(), "g0");
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut n = Netlist::new();
+        let mut prev = n.input("a");
+        for i in 0..50_000 {
+            prev = n.gate(GateKind::Inv, &[prev], &format!("i{i}"));
+        }
+        n.mark_output(prev);
+        assert!(n.check().is_ok());
+    }
+}

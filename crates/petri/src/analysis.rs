@@ -1,0 +1,113 @@
+//! Deadlock and bounded reachability analysis.
+
+use std::collections::{HashSet, VecDeque};
+
+use emc_units::Joules;
+
+use crate::net::{Marking, PetriNet};
+
+/// `true` if no transition is fireable from the current marking within
+/// `budget` — for an energy net this distinguishes a *logical* deadlock
+/// (`budget = ∞` and still stuck) from *energy starvation*.
+pub fn deadlocked(net: &PetriNet, budget: Joules) -> bool {
+    net.enabled(budget).is_empty()
+}
+
+/// Explores markings reachable from the net's current marking assuming
+/// unlimited energy, visiting at most `cap` markings (breadth-first).
+///
+/// Returns the set of visited markings (including the initial one) and
+/// whether exploration was exhaustive (`true`) or hit the cap (`false`).
+pub fn reachable_markings(net: &PetriNet, cap: usize) -> (HashSet<Marking>, bool) {
+    let mut scratch = net.clone();
+    let initial = scratch.marking();
+    let mut seen: HashSet<Marking> = HashSet::new();
+    let mut queue: VecDeque<Marking> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(m) = queue.pop_front() {
+        if seen.len() >= cap {
+            return (seen, false);
+        }
+        for t in scratch.transition_ids().collect::<Vec<_>>() {
+            scratch.set_marking(&m);
+            let mut infinite = Joules(f64::INFINITY);
+            if scratch.fire(t, &mut infinite).is_ok() {
+                let next = scratch.marking();
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    (seen, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::PetriNet;
+
+    fn ring(slots: u32) -> PetriNet {
+        let mut n = PetriNet::new();
+        let empty = n.add_place("empty", slots);
+        let full = n.add_place("full", 0);
+        let produce = n.add_transition("produce");
+        let consume = n.add_transition("consume");
+        n.add_input_arc(produce, empty, 1);
+        n.add_output_arc(produce, full, 1);
+        n.add_input_arc(consume, full, 1);
+        n.add_output_arc(consume, empty, 1);
+        n
+    }
+
+    #[test]
+    fn ring_reachability_is_slots_plus_one() {
+        let n = ring(3);
+        let (markings, exhaustive) = reachable_markings(&n, 1000);
+        assert!(exhaustive);
+        // Fill level 0..=3.
+        assert_eq!(markings.len(), 4);
+    }
+
+    #[test]
+    fn cap_stops_unbounded_nets() {
+        // A source transition with no inputs grows tokens forever.
+        let mut n = PetriNet::new();
+        let p = n.add_place("p", 0);
+        let t = n.add_transition("src");
+        n.add_output_arc(t, p, 1);
+        let (markings, exhaustive) = reachable_markings(&n, 50);
+        assert!(!exhaustive);
+        assert!(markings.len() >= 50);
+    }
+
+    #[test]
+    fn logical_vs_energy_deadlock() {
+        let mut n = ring(1);
+        // Give every transition a cost.
+        for t in n.transition_ids().collect::<Vec<_>>() {
+            n.set_energy_cost(t, Joules(1.0));
+        }
+        assert!(deadlocked(&n, Joules(0.5)), "starved");
+        assert!(!deadlocked(&n, Joules(2.0)), "affordable");
+        assert!(!deadlocked(&n, Joules(f64::INFINITY)), "not a logical deadlock");
+    }
+
+    #[test]
+    fn true_deadlock_detected() {
+        let mut n = PetriNet::new();
+        let p = n.add_place("p", 0);
+        let t = n.add_transition("t");
+        n.add_input_arc(t, p, 1);
+        assert!(deadlocked(&n, Joules(f64::INFINITY)));
+    }
+
+    #[test]
+    fn exploration_does_not_disturb_the_net() {
+        let n = ring(2);
+        let before = n.marking();
+        let _ = reachable_markings(&n, 100);
+        assert_eq!(n.marking(), before);
+    }
+}

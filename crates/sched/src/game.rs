@@ -1,0 +1,288 @@
+//! Game-theoretic power management for real-time scheduling (\[16\]).
+//!
+//! A fixed power budget `P` is shared by `n` tasks. Each task `i` has a
+//! workload `w_i` (operations) and a deadline `d_i`; running at power
+//! `p_i` it finishes in `w_i / p_i` (speed proportional to power).
+//! Allocation is *proportional-share*: task `i` posts a bid `b_i` and
+//! receives `p_i = P · b_i / Σ b_j`. Each task's cost is its tardiness
+//! plus a bidding fee that discourages hoarding:
+//!
+//! ```text
+//! cost_i(b) = max(0, w_i/p_i(b) − d_i) + κ·b_i
+//! ```
+//!
+//! [`PowerGame::best_response_dynamics`] iterates unilateral best
+//! responses over a bid grid until no task can improve — an approximate
+//! Nash equilibrium — and is compared against the static equal split.
+
+/// One task's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskBid {
+    /// Workload in operations (arbitrary units).
+    pub workload: f64,
+    /// Deadline in the same time units as `workload / power`.
+    pub deadline: f64,
+}
+
+/// The proportional-share power game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerGame {
+    budget: f64,
+    kappa: f64,
+    tasks: Vec<TaskBid>,
+}
+
+impl PowerGame {
+    /// A game over `tasks` sharing `budget` watts, with bidding fee
+    /// `kappa` (≥ 0; small values ≈ pure tardiness minimisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not strictly positive, `kappa` is
+    /// negative, `tasks` is empty, or any task has non-positive workload
+    /// or deadline.
+    pub fn new(budget: f64, kappa: f64, tasks: Vec<TaskBid>) -> Self {
+        assert!(budget > 0.0, "budget must be positive");
+        assert!(kappa >= 0.0, "negative bidding fee");
+        assert!(!tasks.is_empty(), "need at least one task");
+        for t in &tasks {
+            assert!(t.workload > 0.0 && t.deadline > 0.0, "degenerate task");
+        }
+        Self {
+            budget,
+            kappa,
+            tasks,
+        }
+    }
+
+    /// Number of players.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if there are no players (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Power allocation induced by `bids` (proportional share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bids` has the wrong length or sums to zero.
+    pub fn allocation(&self, bids: &[f64]) -> Vec<f64> {
+        assert_eq!(bids.len(), self.tasks.len(), "bid vector length");
+        let total: f64 = bids.iter().sum();
+        assert!(total > 0.0, "bids must not all be zero");
+        bids.iter().map(|b| self.budget * b / total).collect()
+    }
+
+    /// Task `i`'s cost under `bids`.
+    pub fn cost(&self, i: usize, bids: &[f64]) -> f64 {
+        let p = self.allocation(bids)[i];
+        let t = &self.tasks[i];
+        let tardiness = (t.workload / p - t.deadline).max(0.0);
+        tardiness + self.kappa * bids[i]
+    }
+
+    /// Deadline misses under a given power allocation.
+    pub fn misses(&self, allocation: &[f64]) -> usize {
+        self.tasks
+            .iter()
+            .zip(allocation)
+            .filter(|(t, &p)| t.workload / p > t.deadline + 1e-12)
+            .count()
+    }
+
+    /// Total tardiness under a given power allocation.
+    pub fn total_tardiness(&self, allocation: &[f64]) -> f64 {
+        self.tasks
+            .iter()
+            .zip(allocation)
+            .map(|(t, &p)| (t.workload / p - t.deadline).max(0.0))
+            .sum()
+    }
+
+    /// The static baseline: everyone gets `P / n`.
+    pub fn equal_split(&self) -> Vec<f64> {
+        vec![self.budget / self.tasks.len() as f64; self.tasks.len()]
+    }
+
+    /// Runs best-response dynamics from uniform bids over a geometric
+    /// bid grid. Returns `(bids, rounds)`; convergence is declared when
+    /// a full round changes no bid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    pub fn best_response_dynamics(&self, max_rounds: usize) -> (Vec<f64>, usize) {
+        assert!(max_rounds > 0, "need at least one round");
+        // Geometric grid of candidate bids.
+        let grid: Vec<f64> = (0..60).map(|k| 0.01 * 1.2_f64.powi(k)).collect();
+        let mut bids = vec![1.0; self.tasks.len()];
+        for round in 0..max_rounds {
+            let mut changed = false;
+            for i in 0..self.tasks.len() {
+                let mut best = bids[i];
+                let mut best_cost = self.cost(i, &bids);
+                for &candidate in &grid {
+                    let mut trial = bids.clone();
+                    trial[i] = candidate;
+                    let c = self.cost(i, &trial);
+                    if c < best_cost - 1e-12 {
+                        best_cost = c;
+                        best = candidate;
+                    }
+                }
+                if (best - bids[i]).abs() > 1e-15 {
+                    bids[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return (bids, round + 1);
+            }
+        }
+        (bids, max_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Heterogeneous mix: one urgent heavy task, two relaxed light ones.
+    fn mixed() -> PowerGame {
+        PowerGame::new(
+            3.0,
+            1e-4,
+            vec![
+                TaskBid {
+                    workload: 10.0,
+                    deadline: 5.0,
+                },
+                TaskBid {
+                    workload: 2.0,
+                    deadline: 10.0,
+                },
+                TaskBid {
+                    workload: 2.0,
+                    deadline: 10.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn equal_split_misses_the_urgent_task() {
+        let g = mixed();
+        let eq = g.equal_split();
+        // Task 0 at 1 W takes 10 > deadline 5.
+        assert_eq!(g.misses(&eq), 1);
+    }
+
+    #[test]
+    fn equilibrium_beats_equal_split() {
+        let g = mixed();
+        let (bids, rounds) = g.best_response_dynamics(100);
+        assert!(rounds < 100, "did not converge");
+        let alloc = g.allocation(&bids);
+        assert!(
+            g.misses(&alloc) < g.misses(&g.equal_split()),
+            "equilibrium allocation {alloc:?} should meet the urgent deadline"
+        );
+        assert!(g.total_tardiness(&alloc) < g.total_tardiness(&g.equal_split()));
+        // The urgent task bids its way to the larger share.
+        assert!(alloc[0] > alloc[1]);
+    }
+
+    #[test]
+    fn symmetric_tasks_get_symmetric_allocation() {
+        let g = PowerGame::new(
+            2.0,
+            1e-4,
+            vec![
+                TaskBid {
+                    workload: 3.0,
+                    deadline: 4.0,
+                },
+                TaskBid {
+                    workload: 3.0,
+                    deadline: 4.0,
+                },
+            ],
+        );
+        let (bids, _) = g.best_response_dynamics(100);
+        let alloc = g.allocation(&bids);
+        assert!(
+            (alloc[0] - alloc[1]).abs() < 0.05 * alloc[0],
+            "symmetric players should split evenly: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn allocation_conserves_budget() {
+        let g = mixed();
+        let (bids, _) = g.best_response_dynamics(50);
+        let total: f64 = g.allocation(&bids).iter().sum();
+        assert!((total - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bidding_fee_discourages_hoarding() {
+        // With a huge fee, bids collapse to the grid floor.
+        let g = PowerGame::new(
+            1.0,
+            100.0,
+            vec![
+                TaskBid {
+                    workload: 1.0,
+                    deadline: 10.0,
+                },
+                TaskBid {
+                    workload: 1.0,
+                    deadline: 10.0,
+                },
+            ],
+        );
+        let (bids, _) = g.best_response_dynamics(50);
+        assert!(bids.iter().all(|&b| b <= 0.011), "bids {bids:?}");
+    }
+
+    #[test]
+    fn infeasible_load_still_allocates_fully() {
+        // Deadlines nobody can meet: dynamics still converge and spend
+        // the whole budget.
+        let g = PowerGame::new(
+            0.1,
+            1e-4,
+            vec![
+                TaskBid {
+                    workload: 100.0,
+                    deadline: 1.0,
+                },
+                TaskBid {
+                    workload: 100.0,
+                    deadline: 1.0,
+                },
+            ],
+        );
+        let (bids, _) = g.best_response_dynamics(100);
+        let alloc = g.allocation(&bids);
+        assert_eq!(g.misses(&alloc), 2);
+        assert!((alloc.iter().sum::<f64>() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_panics() {
+        let _ = PowerGame::new(
+            0.0,
+            0.0,
+            vec![TaskBid {
+                workload: 1.0,
+                deadline: 1.0,
+            }],
+        );
+    }
+}

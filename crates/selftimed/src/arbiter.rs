@@ -1,0 +1,210 @@
+//! A two-way mutual-exclusion element (mutex / arbiter).
+//!
+//! The classic cross-coupled NAND latch with a grant filter — the
+//! hardware primitive behind the "soft arbitration" the paper's
+//! conclusion points to for task-concurrency control \[11\]. Two clients
+//! raise requests; the arbiter guarantees at most one grant at a time
+//! and hands over on release.
+//!
+//! In this deterministic simulator a truly simultaneous pair of requests
+//! resolves by event order and records a hazard on the losing latch
+//! gate — the discrete-event analogue of the metastability a physical
+//! mutex resolves internally. Grants remain mutually exclusive in every
+//! case.
+
+use emc_netlist::{GateKind, NetId, Netlist};
+use emc_sim::Simulator;
+
+/// The two-input mutual-exclusion element.
+///
+/// Note: the cross-coupled NAND pair is — deliberately — a combinational
+/// cycle, so [`Netlist::check`] reports a `CombinationalLoop` for
+/// netlists containing an arbiter. That is the expected signature of a
+/// latch built from plain gates rather than a state-holding primitive.
+#[derive(Debug, Clone, Copy)]
+pub struct Arbiter {
+    r1: NetId,
+    r2: NetId,
+    n1: NetId,
+    n2: NetId,
+    g1: NetId,
+    g2: NetId,
+}
+
+impl Arbiter {
+    /// Appends an arbiter to `netlist` (names prefixed with `name`).
+    /// Returns the component handle; request nets are inputs, grant nets
+    /// are outputs.
+    pub fn build(netlist: &mut Netlist, name: &str) -> Self {
+        let r1 = netlist.input(&format!("{name}.r1"));
+        let r2 = netlist.input(&format!("{name}.r2"));
+        // Cross-coupled NAND pair; the second coupling input is closed
+        // as feedback after both gates exist.
+        let n1 = netlist.gate(GateKind::Nand, &[r1, r1], &format!("{name}.n1"));
+        let n2 = netlist.gate(GateKind::Nand, &[r2, n1], &format!("{name}.n2"));
+        netlist.connect_feedback(n1, n2);
+        // Grant filter: grant_i = ¬n_i ∧ n_j.
+        let n1_inv = netlist.gate(GateKind::Inv, &[n1], &format!("{name}.n1b"));
+        let n2_inv = netlist.gate(GateKind::Inv, &[n2], &format!("{name}.n2b"));
+        let g1 = netlist.gate(GateKind::And, &[n1_inv, n2], &format!("{name}.g1"));
+        let g2 = netlist.gate(GateKind::And, &[n2_inv, n1], &format!("{name}.g2"));
+        netlist.mark_output(g1);
+        netlist.mark_output(g2);
+        Self {
+            r1,
+            r2,
+            n1,
+            n2,
+            g1,
+            g2,
+        }
+    }
+
+    /// Request input of client 1.
+    pub fn request1(&self) -> NetId {
+        self.r1
+    }
+
+    /// Request input of client 2.
+    pub fn request2(&self) -> NetId {
+        self.r2
+    }
+
+    /// Grant output of client 1.
+    pub fn grant1(&self) -> NetId {
+        self.g1
+    }
+
+    /// Grant output of client 2.
+    pub fn grant2(&self) -> NetId {
+        self.g2
+    }
+
+    /// Initialises the latch to the idle state (both NANDs high). Call
+    /// between domain assignment and [`Simulator::start`].
+    pub fn prime(&self, sim: &mut Simulator) {
+        sim.set_initial(self.n1, true);
+        sim.set_initial(self.n2, true);
+    }
+
+    /// `true` if both grants are currently inactive.
+    pub fn idle(&self, sim: &Simulator) -> bool {
+        !sim.value(self.g1) && !sim.value(self.g2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_device::DeviceModel;
+    use emc_sim::SupplyKind;
+    use emc_units::{Seconds, Waveform};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rig() -> (Simulator, Arbiter) {
+        let mut nl = Netlist::new();
+        let arb = Arbiter::build(&mut nl, "mx");
+        // check() reports the latch cycle by design — see the type docs.
+        assert!(matches!(
+            nl.check(),
+            Err(emc_netlist::NetlistError::CombinationalLoop { .. })
+        ));
+        let mut sim = Simulator::new(nl, DeviceModel::umc90());
+        let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(1.0)));
+        sim.assign_all(d);
+        arb.prime(&mut sim);
+        sim.start();
+        sim.run_to_quiescence(1000);
+        (sim, arb)
+    }
+
+    /// Steps until quiescent, checking mutual exclusion at every event.
+    fn settle_checked(sim: &mut Simulator, arb: &Arbiter) {
+        for _ in 0..10_000 {
+            if sim.step().is_none() {
+                break;
+            }
+            assert!(
+                !(sim.value(arb.grant1()) && sim.value(arb.grant2())),
+                "both grants active!"
+            );
+        }
+    }
+
+    #[test]
+    fn single_request_is_granted_and_released() {
+        let (mut sim, arb) = rig();
+        assert!(arb.idle(&sim));
+        sim.schedule_input(arb.request1(), sim.now(), true);
+        settle_checked(&mut sim, &arb);
+        assert!(sim.value(arb.grant1()));
+        assert!(!sim.value(arb.grant2()));
+        sim.schedule_input(arb.request1(), sim.now(), false);
+        settle_checked(&mut sim, &arb);
+        assert!(arb.idle(&sim));
+    }
+
+    #[test]
+    fn contention_grants_exactly_one_and_hands_over() {
+        let (mut sim, arb) = rig();
+        let t = sim.now();
+        sim.schedule_input(arb.request1(), Seconds(t.0 + 1e-9), true);
+        sim.schedule_input(arb.request2(), Seconds(t.0 + 1.05e-9), true);
+        settle_checked(&mut sim, &arb);
+        // First-come-first-served: client 1 holds the grant.
+        assert!(sim.value(arb.grant1()));
+        assert!(!sim.value(arb.grant2()));
+        // Release 1 → grant moves to the waiting client 2.
+        sim.schedule_input(arb.request1(), sim.now(), false);
+        settle_checked(&mut sim, &arb);
+        assert!(!sim.value(arb.grant1()));
+        assert!(sim.value(arb.grant2()));
+    }
+
+    #[test]
+    fn simultaneous_requests_still_exclusive() {
+        let (mut sim, arb) = rig();
+        let t = sim.now();
+        sim.schedule_input(arb.request1(), t, true);
+        sim.schedule_input(arb.request2(), t, true);
+        settle_checked(&mut sim, &arb);
+        let (g1, g2) = (sim.value(arb.grant1()), sim.value(arb.grant2()));
+        assert!(g1 ^ g2, "exactly one grant expected, got ({g1}, {g2})");
+    }
+
+    #[test]
+    fn randomised_request_storm_never_double_grants() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let (mut sim, arb) = rig();
+        let mut t = sim.now().0;
+        let mut want = [false, false];
+        for _ in 0..60 {
+            let who = rng.gen_range(0..2);
+            want[who] = !want[who];
+            t += rng.gen_range(0.05e-9..3e-9);
+            let net = if who == 0 { arb.request1() } else { arb.request2() };
+            sim.schedule_input(net, Seconds(t), want[who]);
+        }
+        settle_checked(&mut sim, &arb);
+        // Final state consistent with the last request levels.
+        let granted = sim.value(arb.grant1()) || sim.value(arb.grant2());
+        assert_eq!(granted, want[0] || want[1]);
+    }
+
+    #[test]
+    fn works_in_subthreshold_too() {
+        let mut nl = Netlist::new();
+        let arb = Arbiter::build(&mut nl, "mx");
+        let mut sim = Simulator::new(nl, DeviceModel::umc90());
+        let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(0.2)));
+        sim.assign_all(d);
+        arb.prime(&mut sim);
+        sim.start();
+        sim.run_to_quiescence(1000);
+        sim.schedule_input(arb.request2(), sim.now(), true);
+        sim.run_until(Seconds(sim.now().0 + 1e-3));
+        assert!(sim.value(arb.grant2()));
+        assert!(!sim.value(arb.grant1()));
+    }
+}

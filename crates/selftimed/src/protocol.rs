@@ -1,0 +1,239 @@
+//! Four-phase handshake protocol checking over recorded traces.
+//!
+//! Speed-independent design lives and dies by its handshake contracts:
+//! `req+ → ack+ → req− → ack−`, strictly alternating. This module
+//! validates a recorded [`Trace`] against that contract — the trace-level
+//! complement to the simulator's structural hazard detection.
+
+use emc_netlist::NetId;
+use emc_sim::Trace;
+use emc_units::Seconds;
+
+/// A violation of the four-phase contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolViolation {
+    /// When the offending transition fired.
+    pub time: Seconds,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// The ways a req/ack pair can break four-phase alternation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Acknowledge rose while request was low (phase 2 without phase 1).
+    AckWithoutRequest,
+    /// Request fell before the acknowledge had risen (withdrawn offer).
+    RequestWithdrawn,
+    /// Request rose again before the acknowledge returned to zero.
+    RequestEarly,
+    /// Acknowledge fell while the request was still high (in four-phase
+    /// the acknowledge may fall only after the request has fallen).
+    AckDroppedEarly,
+}
+
+impl core::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ViolationKind::AckWithoutRequest => "acknowledge rose without a request",
+            ViolationKind::RequestWithdrawn => "request withdrawn before acknowledge",
+            ViolationKind::RequestEarly => "request re-raised before acknowledge cleared",
+            ViolationKind::AckDroppedEarly => "acknowledge dropped while request still high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Checks the strict four-phase alternation of one `(req, ack)` pair in
+/// a trace. `initial` gives the `(req, ack)` levels before the first
+/// recorded entry (usually `(false, false)`).
+///
+/// Returns all violations in time order; an empty vector means the pair
+/// honoured the contract for the whole trace.
+pub fn check_four_phase(
+    trace: &Trace,
+    req: NetId,
+    ack: NetId,
+    initial: (bool, bool),
+) -> Vec<ProtocolViolation> {
+    let (mut req_level, mut ack_level) = initial;
+    let mut violations = Vec::new();
+    for e in trace.entries() {
+        if e.net == req {
+            if e.value == req_level {
+                continue; // redundant entry
+            }
+            if e.value {
+                // req+ legal only when ack is low.
+                if ack_level {
+                    violations.push(ProtocolViolation {
+                        time: e.time,
+                        kind: ViolationKind::RequestEarly,
+                    });
+                }
+            } else {
+                // req− legal only after ack+.
+                if !ack_level {
+                    violations.push(ProtocolViolation {
+                        time: e.time,
+                        kind: ViolationKind::RequestWithdrawn,
+                    });
+                }
+            }
+            req_level = e.value;
+        } else if e.net == ack {
+            if e.value == ack_level {
+                continue;
+            }
+            if e.value {
+                // ack+ legal only while req is high.
+                if !req_level {
+                    violations.push(ProtocolViolation {
+                        time: e.time,
+                        kind: ViolationKind::AckWithoutRequest,
+                    });
+                }
+            } else {
+                // ack− legal only after req−.
+                if req_level {
+                    violations.push(ProtocolViolation {
+                        time: e.time,
+                        kind: ViolationKind::AckDroppedEarly,
+                    });
+                }
+            }
+            ack_level = e.value;
+        }
+    }
+    violations
+}
+
+/// Counts the complete four-phase cycles (`ack−` closings) of a pair —
+/// the throughput denominator for handshake interfaces.
+pub fn count_cycles(trace: &Trace, req: NetId, ack: NetId, initial: (bool, bool)) -> usize {
+    let (_, mut ack_level) = initial;
+    let mut req_level = initial.0;
+    let mut cycles = 0;
+    for e in trace.entries() {
+        if e.net == req {
+            req_level = e.value;
+        } else if e.net == ack {
+            if ack_level && !e.value && !req_level {
+                cycles += 1;
+            }
+            ack_level = e.value;
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wchb::DualRailPipeline;
+    use emc_device::DeviceModel;
+    use emc_netlist::Netlist;
+    use emc_sim::{Simulator, SupplyKind};
+    use emc_units::Waveform;
+
+    #[test]
+    fn wchb_sender_handshake_is_clean_four_phase() {
+        let mut nl = Netlist::new();
+        let p = DualRailPipeline::build(&mut nl, 3, "p");
+        let req = p.inputs()[0].t;
+        let ack = p.sender_ack();
+        let mut sim = Simulator::new(nl, DeviceModel::umc90());
+        let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(0.8)));
+        sim.assign_all(d);
+        sim.watch(req);
+        sim.watch(ack);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        let out = p.transfer(&mut sim, &[1, 1, 1, 1], Seconds(1e-3));
+        assert!(out.completed);
+        let violations = check_four_phase(sim.trace(), req, ack, (false, false));
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert_eq!(count_cycles(sim.trace(), req, ack, (false, false)), 4);
+    }
+
+    /// Builds a synthetic trace with controlled orderings.
+    fn synthetic(entries: &[(f64, u8, bool)]) -> (Trace, NetId, NetId) {
+        let mut nl = Netlist::new();
+        let req = nl.input("req");
+        let ack = nl.input("ack");
+        let mut sim = Simulator::new(nl, DeviceModel::umc90());
+        sim.watch(req);
+        sim.watch(ack);
+        // No domains needed: inputs fire directly.
+        sim.start();
+        for &(t, which, v) in entries {
+            let net = if which == 0 { req } else { ack };
+            sim.schedule_input(net, Seconds(t), v);
+        }
+        sim.run_until(Seconds(1e3));
+        (sim.trace().clone(), req, ack)
+    }
+
+    #[test]
+    fn clean_cycle_passes() {
+        let (tr, req, ack) = synthetic(&[
+            (1.0, 0, true),
+            (2.0, 1, true),
+            (3.0, 0, false),
+            (4.0, 1, false),
+        ]);
+        assert!(check_four_phase(&tr, req, ack, (false, false)).is_empty());
+        assert_eq!(count_cycles(&tr, req, ack, (false, false)), 1);
+    }
+
+    #[test]
+    fn withdrawn_request_detected() {
+        let (tr, req, ack) = synthetic(&[(1.0, 0, true), (2.0, 0, false)]);
+        let v = check_four_phase(&tr, req, ack, (false, false));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::RequestWithdrawn);
+        assert_eq!(v[0].time, Seconds(2.0));
+    }
+
+    #[test]
+    fn spontaneous_ack_detected() {
+        let (tr, req, ack) = synthetic(&[(1.0, 1, true)]);
+        let v = check_four_phase(&tr, req, ack, (false, false));
+        assert_eq!(v[0].kind, ViolationKind::AckWithoutRequest);
+    }
+
+    #[test]
+    fn early_ack_drop_detected() {
+        let (tr, req, ack) = synthetic(&[
+            (1.0, 0, true),
+            (2.0, 1, true),
+            (3.0, 1, false), // ack falls while req still high
+        ]);
+        let v = check_four_phase(&tr, req, ack, (false, false));
+        assert_eq!(v[0].kind, ViolationKind::AckDroppedEarly);
+    }
+
+    #[test]
+    fn early_request_detected() {
+        let (tr, req, ack) = synthetic(&[
+            (1.0, 0, true),
+            (2.0, 1, true),
+            (3.0, 0, false),
+            (4.0, 0, true), // re-raised before ack cleared
+        ]);
+        let v = check_four_phase(&tr, req, ack, (false, false));
+        assert_eq!(v[0].kind, ViolationKind::RequestEarly);
+    }
+
+    #[test]
+    fn violation_kinds_display() {
+        for k in [
+            ViolationKind::AckWithoutRequest,
+            ViolationKind::RequestWithdrawn,
+            ViolationKind::RequestEarly,
+            ViolationKind::AckDroppedEarly,
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

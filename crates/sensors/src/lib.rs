@@ -1,0 +1,52 @@
+//! Charge-to-digital conversion and reference-free voltage sensing —
+//! the measurement side of energy-modulated computing.
+//!
+//! Section III-B/C of the paper builds power meters out of the very
+//! property that makes self-timed logic power-proportional:
+//!
+//! * [`ChargeToDigitalConverter`] (Figs. 8–11): a self-timed toggle
+//!   counter powered **from the sampling capacitor itself**. Closing the
+//!   sample switch dumps a quantum of charge into the counter's rail;
+//!   the counter runs, dividing its own oscillation down the toggle
+//!   chain, until the rail sags below the operating floor. The
+//!   accumulated code *is* the measurement — "a circuit which turns an
+//!   amount of energy into the amount of computation";
+//! * [`ReferenceFreeSensor`] (Fig. 12): races an SRAM read against an
+//!   inverter-chain ruler at the measured voltage. Because the two scale
+//!   *differently* with Vdd (the Fig. 5 mismatch), the position where
+//!   the SRAM completion lands in the chain — a thermometer code — maps
+//!   monotonically to voltage, with **no time, voltage or current
+//!   reference**;
+//! * [`RingOscillatorSensor`]: the conventional baseline \[6\] — count
+//!   ring-oscillator cycles in a *reference* time window; accurate only
+//!   as long as that reference is, which is exactly the dependency the
+//!   reference-free design removes;
+//! * [`SensorLoop`] (Fig. 8): the sample-and-hold loop that uses the
+//!   converter's code to steer a DC-DC converter's output into a target
+//!   band.
+//!
+//! # Examples
+//!
+//! ```
+//! use emc_sensors::ChargeToDigitalConverter;
+//! use emc_units::{Farads, Volts};
+//!
+//! let cdc = ChargeToDigitalConverter::new(Farads(2e-12), 10);
+//! let low = cdc.convert(Volts(0.5));
+//! let high = cdc.convert(Volts(1.0));
+//! // More sampled charge ⇒ more computation ⇒ a larger code.
+//! assert!(high.code > low.code);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod charge_to_digital;
+pub mod reference_free;
+pub mod ring_oscillator;
+pub mod sensor_loop;
+
+pub use charge_to_digital::{ChargeToDigitalConverter, ConversionResult};
+pub use reference_free::ReferenceFreeSensor;
+pub use ring_oscillator::RingOscillatorSensor;
+pub use sensor_loop::{LoopRecord, SensorLoop};

@@ -1,0 +1,269 @@
+//! Static timing analysis over a netlist at a chosen supply voltage.
+//!
+//! This is the *conventional* designer's tool — the one a bundled-data
+//! design is sized with: compute the longest combinational path at a
+//! reference Vdd, add margin, cut a delay line to match. The paper's
+//! argument is precisely that this number is only valid at the voltage
+//! it was computed for; [`longest_path`] makes that argument quantitative
+//! by letting you re-run the same analysis across the range.
+
+use emc_device::DeviceModel;
+use emc_netlist::{GateId, Netlist};
+use emc_units::{Farads, Seconds, Volts};
+
+/// Result of a static timing pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// Supply voltage the analysis ran at.
+    pub vdd: Volts,
+    /// Arrival time (worst input-to-here delay) per gate, indexed by
+    /// gate index; sources have arrival 0.
+    pub arrival: Vec<Seconds>,
+    /// The gate with the latest arrival.
+    pub critical_endpoint: Option<GateId>,
+}
+
+impl StaReport {
+    /// The longest combinational delay found.
+    pub fn critical_delay(&self) -> Seconds {
+        self.critical_endpoint
+            .map_or(Seconds(0.0), |g| self.arrival[g.index()])
+    }
+
+    /// Walks the critical path back from the endpoint (latest-arrival
+    /// predecessor at each step), returning gates from start to end.
+    pub fn critical_path(&self, netlist: &Netlist) -> Vec<GateId> {
+        let mut path = Vec::new();
+        let mut cur = self.critical_endpoint;
+        while let Some(g) = cur {
+            path.push(g);
+            let gate = netlist.gate_ref(g);
+            cur = gate
+                .inputs()
+                .iter()
+                .filter_map(|n| netlist.driver_of(*n))
+                .filter(|p| {
+                    let k = netlist.gate_ref(*p).kind();
+                    !k.is_source() && !k.is_state_holding()
+                })
+                .max_by(|a, b| {
+                    self.arrival[a.index()]
+                        .0
+                        .total_cmp(&self.arrival[b.index()].0)
+                });
+            // Stop when the best predecessor contributes no delay chain.
+            if let Some(p) = cur {
+                if self.arrival[p.index()].0 <= 0.0 {
+                    path.push(p);
+                    break;
+                }
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Computes worst-case arrival times for every gate at constant `vdd`,
+/// treating sources and state-holding gates as path start points (their
+/// outputs launch with arrival 0, as a clocked STA would assume).
+///
+/// Gate delays use the same load model as the event simulator (drain
+/// parasitic + fanout gate capacitance), so STA and simulation agree on
+/// an inverter chain to within rounding.
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational loop (run
+/// [`Netlist::check`] first).
+pub fn longest_path(netlist: &Netlist, device: &DeviceModel, vdd: Volts) -> StaReport {
+    let n = netlist.gate_count();
+    let mut arrival = vec![Seconds(0.0); n];
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 visiting, 2 done
+    let params = device.params();
+
+    // Iterative DFS computing arrival = max(pred arrivals) + own delay.
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, false)];
+        while let Some((g, expanded)) = stack.pop() {
+            let gate = netlist.gate_ref(netlist.gate_id(g));
+            let kind = gate.kind();
+            if kind.is_source() || kind.is_state_holding() {
+                state[g] = 2;
+                continue;
+            }
+            if expanded {
+                let mut worst = 0.0_f64;
+                for net in gate.inputs() {
+                    if let Some(p) = netlist.driver_of(*net) {
+                        let pk = netlist.gate_ref(p).kind();
+                        if !pk.is_source() && !pk.is_state_holding() {
+                            worst = worst.max(arrival[p.index()].0);
+                        }
+                    }
+                }
+                let fanout_units = netlist.fanout_load_units(gate.output());
+                let load = Farads(
+                    params.drain_cap.0 * gate.drive() + params.gate_cap.0 * fanout_units,
+                );
+                let own = device.gate_delay(vdd, load, gate.drive()) * kind.delay_factor();
+                arrival[g] = Seconds(worst + own.0);
+                state[g] = 2;
+                continue;
+            }
+            if state[g] == 1 {
+                continue;
+            }
+            assert!(state[g] != 1, "combinational loop at gate g{g}");
+            state[g] = 1;
+            stack.push((g, true));
+            for net in gate.inputs() {
+                if let Some(p) = netlist.driver_of(*net) {
+                    let pk = netlist.gate_ref(p).kind();
+                    if !pk.is_source() && !pk.is_state_holding() && state[p.index()] == 0 {
+                        stack.push((p.index(), false));
+                    } else {
+                        assert!(
+                            state[p.index()] != 1,
+                            "combinational loop through gate g{}",
+                            p.index()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let critical_endpoint = (0..n)
+        .filter(|&g| arrival[g].0 > 0.0)
+        .max_by(|a, b| arrival[*a].0.total_cmp(&arrival[*b].0))
+        .map(|g| netlist.gate_id(g));
+    StaReport {
+        vdd,
+        arrival,
+        critical_endpoint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_netlist::GateKind;
+
+    fn chain(n: usize) -> (Netlist, Vec<GateId>) {
+        let mut nl = Netlist::new();
+        let mut prev = nl.input("in");
+        let mut gates = Vec::new();
+        for i in 0..n {
+            prev = nl.gate(GateKind::Inv, &[prev], &format!("i{i}"));
+            gates.push(nl.driver_of(prev).unwrap());
+        }
+        nl.mark_output(prev);
+        (nl, gates)
+    }
+
+    #[test]
+    fn chain_arrival_grows_linearly() {
+        let (nl, gates) = chain(10);
+        let device = DeviceModel::umc90();
+        let report = longest_path(&nl, &device, Volts(1.0));
+        let fo1 = device.inverter_delay(Volts(1.0)).0;
+        // Mid-chain stages are FO1 inverters.
+        let step = report.arrival[gates[5].index()].0 - report.arrival[gates[4].index()].0;
+        assert!((step / fo1 - 1.0).abs() < 1e-9, "step {step} vs fo1 {fo1}");
+        assert_eq!(report.critical_endpoint, Some(*gates.last().unwrap()));
+        // Total ≈ 10 stages (last one unloaded, slightly faster).
+        let total = report.critical_delay().0;
+        assert!((total / (10.0 * fo1) - 1.0).abs() < 0.15, "total {total}");
+    }
+
+    #[test]
+    fn sta_agrees_with_event_simulation() {
+        use crate::{Simulator, SupplyKind};
+        use emc_units::Waveform;
+        let (nl, _) = chain(12);
+        let device = DeviceModel::umc90();
+        let sta = longest_path(&nl, &device, Volts(0.5)).critical_delay();
+
+        let mut sim = Simulator::new(nl, device);
+        let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(0.5)));
+        sim.assign_all(d);
+        // Consistent initial levels, then a step.
+        for i in 0..sim.netlist().gate_count() {
+            let id = sim.netlist().gate_id(i);
+            let out = sim.netlist().gate_ref(id).output();
+            if sim.netlist().gate_ref(id).kind() == GateKind::Inv && i % 2 == 1 {
+                sim.set_initial(out, true);
+            }
+        }
+        sim.start();
+        sim.run_to_quiescence(1000);
+        let input = sim.netlist().iter_gates().next().unwrap().1.output();
+        let t0 = sim.now();
+        sim.schedule_input(input, t0, true);
+        sim.run_to_quiescence(1000);
+        let measured = sim.now().0 - t0.0;
+        assert!(
+            (measured / sta.0 - 1.0).abs() < 0.02,
+            "sim {measured} vs STA {sta}"
+        );
+    }
+
+    #[test]
+    fn critical_path_walks_the_chain() {
+        let (nl, gates) = chain(6);
+        let report = longest_path(&nl, &DeviceModel::umc90(), Volts(0.8));
+        let path = report.critical_path(&nl);
+        assert_eq!(path.len(), 6);
+        assert_eq!(path, gates);
+    }
+
+    #[test]
+    fn reconverging_paths_take_the_worst() {
+        // in → [long chain of 5] → AND ← [1 inv] ← in
+        let mut nl = Netlist::new();
+        let input = nl.input("in");
+        let mut long = input;
+        for i in 0..5 {
+            long = nl.gate(GateKind::Inv, &[long], &format!("l{i}"));
+        }
+        let short = nl.gate(GateKind::Inv, &[input], "s");
+        let y = nl.gate(GateKind::And, &[long, short], "y");
+        nl.mark_output(y);
+        let device = DeviceModel::umc90();
+        let r = longest_path(&nl, &device, Volts(1.0));
+        let and_gate = nl.driver_of(y).unwrap();
+        assert_eq!(r.critical_endpoint, Some(and_gate));
+        // Critical path goes through the long branch: 5 invs + AND.
+        assert_eq!(r.critical_path(&nl).len(), 6);
+    }
+
+    #[test]
+    fn state_holding_gates_cut_paths() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let i1 = nl.gate(GateKind::Inv, &[a], "i1");
+        let c = nl.gate(GateKind::CElement, &[i1, i1], "c");
+        let i2 = nl.gate(GateKind::Inv, &[c], "i2");
+        nl.mark_output(i2);
+        let r = longest_path(&nl, &DeviceModel::umc90(), Volts(1.0));
+        // i2's path starts fresh after the C-element: its arrival is a
+        // single gate delay, not i1 + C + i2.
+        let i2_gate = nl.driver_of(i2).unwrap();
+        let i1_gate = nl.driver_of(i1).unwrap();
+        assert!(r.arrival[i2_gate.index()].0 < 2.0 * r.arrival[i1_gate.index()].0);
+    }
+
+    #[test]
+    fn sta_scaling_mirrors_device_model() {
+        let (nl, _) = chain(8);
+        let device = DeviceModel::umc90();
+        let nominal = longest_path(&nl, &device, Volts(1.0)).critical_delay();
+        let sub = longest_path(&nl, &device, Volts(0.2)).critical_delay();
+        let ratio = sub.0 / nominal.0;
+        let model = device.inverter_delay(Volts(0.2)).0 / device.inverter_delay(Volts(1.0)).0;
+        assert!((ratio / model - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Signal traces recorded during simulation.
+
+use emc_netlist::NetId;
+use emc_units::Seconds;
+
+/// One recorded transition on a watched net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Absolute time of the transition.
+    pub time: Seconds,
+    /// The net that changed.
+    pub net: NetId,
+    /// The new value.
+    pub value: bool,
+}
+
+/// A time-ordered log of transitions on watched nets — the simulator's
+/// equivalent of the waveform screenshots in the paper's Figs. 4 and 7.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&mut self, time: Seconds, net: NetId, value: bool) {
+        self.entries.push(TraceEntry { time, net, value });
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries for a single net, in time order.
+    pub fn for_net(&self, net: NetId) -> Vec<TraceEntry> {
+        self.entries.iter().copied().filter(|e| e.net == net).collect()
+    }
+
+    /// Number of transitions recorded on `net`.
+    pub fn transition_count(&self, net: NetId) -> usize {
+        self.entries.iter().filter(|e| e.net == net).count()
+    }
+
+    /// Number of *rising* transitions recorded on `net`.
+    pub fn rising_count(&self, net: NetId) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.net == net && e.value)
+            .count()
+    }
+
+    /// Reconstructs the value of `net` at time `t`, assuming it started at
+    /// `initial` before the first recorded entry.
+    pub fn value_at(&self, net: NetId, t: Seconds, initial: bool) -> bool {
+        self.entries
+            .iter()
+            .rfind(|e| e.net == net && e.time <= t)
+            .map_or(initial, |e| e.value)
+    }
+
+    /// Times of the rising edges on `net` — handy for measuring oscillator
+    /// periods.
+    pub fn rising_edges(&self, net: NetId) -> Vec<Seconds> {
+        self.entries
+            .iter()
+            .filter(|e| e.net == net && e.value)
+            .map(|e| e.time)
+            .collect()
+    }
+
+    /// Clears all recorded entries (watch registrations are kept by the
+    /// simulator).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_netlist::Netlist;
+
+    fn nets() -> (NetId, NetId) {
+        let mut n = Netlist::new();
+        (n.input("a"), n.input("b"))
+    }
+
+    #[test]
+    fn record_and_query() {
+        let (a, b) = nets();
+        let mut tr = Trace::new();
+        tr.record(Seconds(1.0), a, true);
+        tr.record(Seconds(2.0), b, true);
+        tr.record(Seconds(3.0), a, false);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.for_net(a).len(), 2);
+        assert_eq!(tr.transition_count(a), 2);
+        assert_eq!(tr.rising_count(a), 1);
+        assert_eq!(tr.rising_edges(b), vec![Seconds(2.0)]);
+    }
+
+    #[test]
+    fn value_reconstruction() {
+        let (a, _) = nets();
+        let mut tr = Trace::new();
+        tr.record(Seconds(1.0), a, true);
+        tr.record(Seconds(3.0), a, false);
+        assert!(!tr.value_at(a, Seconds(0.5), false));
+        assert!(tr.value_at(a, Seconds(1.0), false));
+        assert!(tr.value_at(a, Seconds(2.9), false));
+        assert!(!tr.value_at(a, Seconds(3.0), false));
+        // Initial value honoured before any entry.
+        assert!(tr.value_at(a, Seconds(0.0), true));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let (a, _) = nets();
+        let mut tr = Trace::new();
+        assert!(tr.is_empty());
+        tr.record(Seconds(1.0), a, true);
+        assert!(!tr.is_empty());
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.len(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Value-change-dump (VCD) export of recorded traces.
+//!
+//! The paper's Figs. 4 and 7 are waveform screenshots; this module lets
+//! any simulation produce the same thing for a standard waveform viewer
+//! (GTKWave etc.): watch nets, run, then [`to_vcd`].
+
+use emc_netlist::{NetId, Netlist};
+use emc_units::Seconds;
+
+use crate::trace::Trace;
+
+/// Renders a trace as a VCD document.
+///
+/// * `timescale_fs` — femtoseconds per VCD time unit (1000 = 1 ps);
+/// * `nets` — the nets to declare, in display order (entries recorded
+///   for other nets are ignored);
+/// * `initial` — the value each declared net held before the first
+///   recorded change.
+///
+/// # Panics
+///
+/// Panics if `timescale_fs` is zero, `nets` is empty, or `initial` has
+/// a different length from `nets`.
+pub fn to_vcd(
+    trace: &Trace,
+    netlist: &Netlist,
+    nets: &[NetId],
+    initial: &[bool],
+    timescale_fs: u64,
+) -> String {
+    assert!(timescale_fs > 0, "timescale must be positive");
+    assert!(!nets.is_empty(), "declare at least one net");
+    assert_eq!(nets.len(), initial.len(), "initial values length mismatch");
+
+    let code = |i: usize| -> String {
+        // Printable VCD identifier codes: ! .. ~ in base 94.
+        let mut n = i;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (n % 94)) as u8 as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    };
+
+    let mut out = String::new();
+    out.push_str("$comment energy-modulated simulation trace $end\n");
+    out.push_str(&format!("$timescale {timescale_fs} fs $end\n"));
+    out.push_str("$scope module emc $end\n");
+    for (i, &net) in nets.iter().enumerate() {
+        let name = sanitise(netlist.net_name(net));
+        out.push_str(&format!("$var wire 1 {} {name} $end\n", code(i)));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Initial values.
+    out.push_str("#0\n$dumpvars\n");
+    for (i, &v) in initial.iter().enumerate() {
+        out.push_str(&format!("{}{}\n", v as u8, code(i)));
+    }
+    out.push_str("$end\n");
+
+    let to_ticks = |t: Seconds| -> u64 { (t.0 * 1e15 / timescale_fs as f64).round() as u64 };
+    let mut last_tick = 0u64;
+    for e in trace.entries() {
+        let Some(idx) = nets.iter().position(|&n| n == e.net) else {
+            continue;
+        };
+        let tick = to_ticks(e.time);
+        if tick != last_tick {
+            out.push_str(&format!("#{tick}\n"));
+            last_tick = tick;
+        }
+        out.push_str(&format!("{}{}\n", e.value as u8, code(idx)));
+    }
+    out
+}
+
+fn sanitise(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulator, SupplyKind};
+    use emc_device::DeviceModel;
+    use emc_netlist::{GateKind, Netlist};
+    use emc_units::Waveform;
+
+    fn traced_inverter() -> (Simulator, NetId, NetId) {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let y = nl.gate(GateKind::Inv, &[a], "y");
+        nl.mark_output(y);
+        let mut sim = Simulator::new(nl, DeviceModel::umc90());
+        let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(1.0)));
+        sim.assign_all(d);
+        sim.watch(a);
+        sim.watch(y);
+        sim.set_initial(y, true);
+        sim.start();
+        sim.schedule_input(a, Seconds(1e-9), true);
+        sim.run_until(Seconds(5e-9));
+        (sim, a, y)
+    }
+
+    #[test]
+    fn vcd_contains_header_and_changes() {
+        let (sim, a, y) = traced_inverter();
+        let vcd = to_vcd(
+            sim.trace(),
+            sim.netlist(),
+            &[a, y],
+            &[false, true],
+            1000,
+        );
+        assert!(vcd.contains("$timescale 1000 fs $end"));
+        assert!(vcd.contains("$var wire 1 ! a $end"));
+        assert!(vcd.contains("$var wire 1 \" y $end"));
+        assert!(vcd.contains("$dumpvars"));
+        // Input rise at 1 ns = tick 1000 (1 ps units).
+        assert!(vcd.contains("#1000\n1!"), "missing input edge:\n{vcd}");
+        // Output falls a gate delay later.
+        assert!(vcd.contains("0\""), "missing output edge:\n{vcd}");
+    }
+
+    #[test]
+    fn unwatched_nets_are_ignored() {
+        let (sim, a, _) = traced_inverter();
+        let vcd = to_vcd(sim.trace(), sim.netlist(), &[a], &[false], 1000);
+        assert!(!vcd.contains('"'), "only one identifier expected");
+    }
+
+    #[test]
+    fn identifier_codes_stay_printable_for_many_nets() {
+        let mut nl = Netlist::new();
+        let nets: Vec<NetId> = (0..200).map(|i| nl.input(&format!("n{i}"))).collect();
+        let initial = vec![false; 200];
+        let tr = Trace::new();
+        let vcd = to_vcd(&tr, &nl, &nets, &initial, 1);
+        assert!(vcd.is_ascii());
+        // Net 94 rolls over to a two-character code: '!' then '"'.
+        assert!(vcd.contains("$var wire 1 !\" n94 $end"), "{vcd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn initial_length_checked() {
+        let (sim, a, _) = traced_inverter();
+        let _ = to_vcd(sim.trace(), sim.netlist(), &[a], &[false, true], 1000);
+    }
+}

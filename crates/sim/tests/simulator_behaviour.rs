@@ -1,0 +1,359 @@
+//! Behavioural tests of the event-driven simulator: delay scaling with
+//! Vdd, energy accounting, hazard detection, capacitor-backed supplies
+//! and operation under AC power.
+
+use emc_device::DeviceModel;
+use emc_netlist::{GateId, GateKind, NetId, Netlist};
+use emc_sim::{Simulator, SupplyKind};
+use emc_units::{Farads, Hertz, Seconds, Volts, Waveform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A chain of `n` inverters behind an input; returns (input, chain outputs).
+fn inverter_chain(n: usize) -> (Netlist, NetId, Vec<NetId>) {
+    let mut nl = Netlist::new();
+    let input = nl.input("in");
+    let mut outs = Vec::new();
+    let mut prev = input;
+    for i in 0..n {
+        prev = nl.gate(GateKind::Inv, &[prev], &format!("inv{i}"));
+        outs.push(prev);
+    }
+    nl.mark_output(prev);
+    (nl, input, outs)
+}
+
+fn sim_with_constant_vdd(nl: Netlist, vdd: f64) -> Simulator {
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(vdd)));
+    sim.assign_all(d);
+    sim
+}
+
+/// Time for a step to propagate through a chain of `n` inverters at `vdd`.
+fn chain_propagation_time(n: usize, vdd: f64) -> f64 {
+    let (nl, input, outs) = inverter_chain(n);
+    let last = *outs.last().unwrap();
+    let mut sim = sim_with_constant_vdd(nl, vdd);
+    // Settle the chain (alternating levels from in = 0).
+    sim.start();
+    sim.run_to_quiescence(10_000);
+    let settled = sim.value(last);
+    let t0 = sim.now();
+    sim.watch(last);
+    sim.schedule_input(input, t0, true);
+    sim.run_to_quiescence(10_000);
+    assert_ne!(sim.value(last), settled, "step did not propagate");
+    let edge = sim.trace().entries().last().unwrap().time;
+    edge.0 - t0.0
+}
+
+#[test]
+fn chain_delay_proportional_to_length() {
+    let t8 = chain_propagation_time(8, 1.0);
+    let t16 = chain_propagation_time(16, 1.0);
+    let ratio = t16 / t8;
+    assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
+}
+
+#[test]
+fn chain_slows_dramatically_in_subthreshold() {
+    let nominal = chain_propagation_time(8, 1.0);
+    let sub = chain_propagation_time(8, 0.2);
+    let ratio = sub / nominal;
+    assert!(ratio > 100.0, "only {ratio}× slowdown at 0.2 V");
+}
+
+#[test]
+fn propagation_matches_device_model_prediction() {
+    let dev = DeviceModel::umc90();
+    let measured = chain_propagation_time(10, 0.5);
+    // A mid-chain inverter drives exactly one inverter: FO1 delay.
+    let fo1 = dev.inverter_delay(Volts(0.5)).0;
+    let predicted = 10.0 * fo1;
+    let err = (measured - predicted).abs() / predicted;
+    // The last stage is unloaded and the first differs; allow 25 %.
+    assert!(err < 0.25, "measured {measured}, predicted {predicted}");
+}
+
+#[test]
+fn c_element_waits_for_both_inputs() {
+    let mut nl = Netlist::new();
+    let a = nl.input("a");
+    let b = nl.input("b");
+    let c = nl.gate(GateKind::CElement, &[a, b], "c");
+    nl.mark_output(c);
+    let mut sim = sim_with_constant_vdd(nl, 1.0);
+    sim.start();
+    sim.schedule_input(a, Seconds(0.0), true);
+    sim.run_until(Seconds(10e-9));
+    assert!(!sim.value(c), "C fired with one input");
+    sim.schedule_input(b, Seconds(20e-9), true);
+    sim.run_until(Seconds(40e-9));
+    assert!(sim.value(c), "C did not rendezvous");
+    // Falls only when both fall.
+    sim.schedule_input(a, Seconds(50e-9), false);
+    sim.run_until(Seconds(70e-9));
+    assert!(sim.value(c));
+    sim.schedule_input(b, Seconds(80e-9), false);
+    sim.run_until(Seconds(100e-9));
+    assert!(!sim.value(c));
+    assert!(sim.hazards().is_empty());
+}
+
+#[test]
+fn short_pulse_is_a_hazard() {
+    // A pulse much shorter than the gate delay must be swallowed and
+    // recorded as a persistence violation.
+    let mut nl = Netlist::new();
+    let a = nl.input("a");
+    let slow = nl.gate(GateKind::Inv, &[a], "slow");
+    nl.mark_output(slow);
+    let mut sim = sim_with_constant_vdd(nl, 0.2); // very slow gates
+    let g = sim.netlist().driver_of(slow).unwrap();
+    sim.start();
+    sim.run_to_quiescence(100);
+    // slow = 1 now (input 0). Pulse input high for 1 ps — far below the
+    // sub-threshold gate delay.
+    let t0 = sim.now();
+    sim.schedule_input(a, t0, true);
+    sim.schedule_input(a, Seconds(t0.0 + 1e-12), false);
+    sim.run_until(Seconds(t0.0 + 1.0));
+    assert_eq!(sim.hazards().len(), 1);
+    assert_eq!(sim.hazards()[0].gate, g);
+    assert!(sim.value(slow), "output must not glitch");
+}
+
+#[test]
+fn energy_accounting_matches_cv2_per_rising_edge() {
+    let (nl, input, outs) = inverter_chain(4);
+    let mut sim = sim_with_constant_vdd(nl.clone(), 1.0);
+    sim.start();
+    sim.run_to_quiescence(100);
+    let e_before = sim.energy_drawn(domain_of(&sim));
+    // One input step: every other inverter rises.
+    sim.schedule_input(input, sim.now(), true);
+    sim.run_to_quiescence(100);
+    let e_after = sim.energy_drawn(domain_of(&sim));
+    let drawn = (e_after - e_before).0;
+    // Expected: input driver rising? in=0→1 rises (draws), inv0 falls,
+    // inv1 rises, inv2 falls, inv3 rises: 3 rising edges among gates.
+    let dev = DeviceModel::umc90();
+    let p = dev.params();
+    // in drives inv0; inv_i drives inv_{i+1}; inv3 unloaded.
+    let c_driver = |fanout_units: f64| p.drain_cap.0 + p.gate_cap.0 * fanout_units;
+    let expected = (c_driver(1.0) /* in */ + c_driver(1.0) /* inv1 */ + c_driver(0.0) /* inv3 */)
+        * 1.0
+        * 1.0;
+    let leak_slack = 1e-15; // leakage over nanoseconds is negligible here
+    assert!(
+        (drawn - expected).abs() < expected * 0.05 + leak_slack,
+        "drawn {drawn}, expected {expected}"
+    );
+    let _ = outs;
+}
+
+/// Helper: the single domain of a one-domain simulator.
+fn domain_of(sim: &Simulator) -> emc_sim::DomainId {
+    // Domains are issued densely from zero; tests here use exactly one.
+    sim.domain_id(0)
+}
+
+#[test]
+fn capacitor_domain_sags_and_stalls_then_recharges() {
+    // Ring oscillator powered from a small capacitor: it must oscillate,
+    // drain the cap, stall, and resume after a recharge.
+    let mut nl = Netlist::new();
+    let en = nl.input("en");
+    let g1 = nl.gate(GateKind::Nand, &[en, en], "g1");
+    let g2 = nl.gate(GateKind::Inv, &[g1], "g2");
+    let g3 = nl.gate(GateKind::Inv, &[g2], "g3");
+    nl.connect_feedback(g1, g3);
+    nl.mark_output(g3);
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let cap = sim.add_domain("cs", SupplyKind::capacitor(Farads(50e-15), Volts(0.8)));
+    sim.assign_all(cap);
+    sim.set_initial(g1, true);
+    sim.set_initial(g3, true);
+    sim.schedule_input(en, Seconds(0.0), true);
+    sim.start();
+    let fired = sim.run_to_quiescence(1_000_000);
+    assert!(fired > 10, "did not oscillate ({fired} events)");
+    let v_end = sim.domain_voltage(cap);
+    assert!(
+        v_end < Volts(0.2),
+        "capacitor should be depleted, still at {v_end}"
+    );
+    let before = sim.total_transitions();
+    // Recharge → more oscillation.
+    sim.recharge_domain(cap, Volts(0.8));
+    let fired2 = sim.run_to_quiescence(1_000_000);
+    assert!(fired2 > 10, "did not resume after recharge");
+    assert!(sim.total_transitions() > before);
+}
+
+#[test]
+fn more_charge_buys_more_transitions() {
+    // The essence of energy-modulated computing: transition count scales
+    // with the energy quantum.
+    let count_for = |v0: f64| {
+        let mut nl = Netlist::new();
+        let en = nl.input("en");
+        let g1 = nl.gate(GateKind::Nand, &[en, en], "g1");
+        let g2 = nl.gate(GateKind::Inv, &[g1], "g2");
+        let g3 = nl.gate(GateKind::Inv, &[g2], "g3");
+        nl.connect_feedback(g1, g3);
+        nl.mark_output(g3);
+        let mut sim = Simulator::new(nl, DeviceModel::umc90());
+        let cap = sim.add_domain("cs", SupplyKind::capacitor(Farads(100e-15), Volts(v0)));
+        sim.assign_all(cap);
+        sim.set_initial(g1, true);
+        sim.set_initial(g3, true);
+        sim.schedule_input(en, Seconds(0.0), true);
+        sim.start();
+        sim.run_to_quiescence(10_000_000);
+        sim.total_transitions()
+    };
+    let low = count_for(0.5);
+    let high = count_for(1.0);
+    // Each rising edge drains dQ = C_load*V, so V decays geometrically and
+    // the transition count grows as ln(V0/V_stop): the 1.0 V start must
+    // beat the 0.5 V start by about ln(10)/ln(5) = 1.43.
+    let ratio = high as f64 / low as f64;
+    assert!(
+        (1.25..1.65).contains(&ratio),
+        "high {high} vs low {low} transitions (ratio {ratio})"
+    );
+}
+
+#[test]
+fn ac_supply_pauses_and_resumes_logic() {
+    // Under a 200 mV ± 100 mV AC supply, a sub-threshold chain must make
+    // progress only near the crests — total latency far beyond what the
+    // crest voltage alone would give, but the step still completes.
+    let (nl, input, outs) = inverter_chain(6);
+    let last = *outs.last().unwrap();
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    // Consistent quiescent state for in = 0: levels alternate 1,0,1,0,…
+    for (i, &net) in outs.iter().enumerate() {
+        sim.set_initial(net, i % 2 == 0);
+    }
+    let freq = Hertz(1e6);
+    let vdd = sim.add_domain(
+        "ac",
+        SupplyKind::ideal_with_resolution(
+            Waveform::sine(0.2, 0.1, freq, 0.0),
+            Seconds(freq.period().0 / 128.0),
+        ),
+    );
+    sim.assign_all(vdd);
+    sim.start();
+    sim.run_until(Seconds(5e-6));
+    let settled = sim.value(last);
+    sim.schedule_input(input, sim.now(), true);
+    sim.run_until(Seconds(400e-6));
+    assert_ne!(sim.value(last), settled, "step never completed under AC");
+    assert!(sim.hazards().is_empty());
+}
+
+#[test]
+fn delay_scaling_changes_timing_not_function() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..5 {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.gate(GateKind::CElement, &[a, b], "c");
+        let inv = nl.gate(GateKind::Inv, &[c], "inv");
+        nl.mark_output(inv);
+        let mut sim = sim_with_constant_vdd(nl, 0.5);
+        for i in 0..sim.netlist().gate_count() {
+            let id: GateId = sim.netlist().gate_id(i);
+            let scale = rng.gen_range(0.1..10.0);
+            sim.set_delay_scale(id, scale);
+        }
+        sim.set_initial(inv, true);
+        sim.start();
+        sim.schedule_input(a, Seconds(1e-9), true);
+        sim.schedule_input(b, Seconds(2e-9), true);
+        sim.run_until(Seconds(1e-3));
+        assert!(sim.value(c));
+        assert!(!sim.value(inv));
+        assert!(sim.hazards().is_empty());
+    }
+}
+
+#[test]
+fn trace_records_only_watched_nets() {
+    let (nl, input, outs) = inverter_chain(3);
+    let mut sim = sim_with_constant_vdd(nl, 1.0);
+    sim.watch(outs[1]);
+    sim.start();
+    sim.run_to_quiescence(100);
+    assert!(sim.trace().is_empty(), "nothing watched has switched yet");
+    sim.schedule_input(input, sim.now(), true);
+    sim.run_to_quiescence(100);
+    assert!(sim.trace().entries().iter().all(|e| e.net == outs[1]));
+    assert_eq!(sim.trace().transition_count(outs[1]), 1);
+}
+
+#[test]
+fn redundant_input_levels_are_skipped() {
+    let (nl, input, _) = inverter_chain(1);
+    let mut sim = sim_with_constant_vdd(nl, 1.0);
+    sim.start();
+    sim.run_to_quiescence(10);
+    let n0 = sim.total_transitions();
+    sim.schedule_input(input, sim.now(), false); // already low
+    sim.run_to_quiescence(10);
+    assert_eq!(sim.total_transitions(), n0);
+}
+
+#[test]
+fn run_until_respects_bound() {
+    let (nl, input, outs) = inverter_chain(20);
+    let last = *outs.last().unwrap();
+    let mut sim = sim_with_constant_vdd(nl, 0.3);
+    sim.start();
+    sim.run_to_quiescence(1000);
+    let settled = sim.value(last);
+    let t0 = sim.now();
+    sim.schedule_input(input, t0, true);
+    // Bound far too early for a 20-stage sub-threshold chain.
+    let one_stage = DeviceModel::umc90().inverter_delay(Volts(0.3)).0;
+    sim.run_until(Seconds(t0.0 + one_stage * 3.0));
+    assert_eq!(sim.value(last), settled, "propagated past the bound");
+    // Completing later works.
+    sim.run_until(Seconds(t0.0 + one_stage * 100.0));
+    assert_ne!(sim.value(last), settled);
+}
+
+#[test]
+fn activity_report_attributes_energy_where_it_is_spent() {
+    let (nl, input, outs) = inverter_chain(6);
+    let mut sim = sim_with_constant_vdd(nl, 1.0);
+    sim.start();
+    sim.run_to_quiescence(1000);
+    sim.schedule_input(input, sim.now(), true);
+    sim.run_to_quiescence(1000);
+    let report = sim.activity_report();
+    // Sorted by energy descending.
+    for w in report.windows(2) {
+        assert!(w[0].energy >= w[1].energy);
+    }
+    // Per-gate energies sum to the domain's switching energy.
+    let total: f64 = report.iter().map(|r| r.energy.0).sum();
+    let domain = sim.domain_id(0);
+    let switching = sim.domain(domain).switching_energy().0;
+    assert!(
+        (total - switching).abs() < 1e-18 + switching * 1e-9,
+        "per-gate {total} vs domain {switching}"
+    );
+    // Every gate that rose carries nonzero energy.
+    for r in &report {
+        if r.transitions > 0 && sim.value(sim.netlist().gate_ref(r.gate).output()) {
+            assert!(r.energy.0 > 0.0 || sim.netlist().gate_ref(r.gate).kind().is_source());
+        }
+    }
+    let _ = outs;
+}

@@ -1,0 +1,323 @@
+//! Memory workload generation and replay — stress testing the SRAM
+//! disciplines with realistic access streams under arbitrary supplies.
+
+use emc_units::{Joules, Seconds, Volts, Waveform};
+use rand::Rng;
+
+use crate::sram::{Sram, TimingDiscipline};
+
+/// Address-stream flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressPattern {
+    /// Wrap-around sequential sweep (DMA-like).
+    Sequential,
+    /// Uniformly random addresses.
+    Random,
+    /// 90 % of accesses hit a small hot set, 10 % go anywhere.
+    Hotspot,
+}
+
+/// One memory operation of a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read the address.
+    Read(usize),
+    /// Write the value to the address.
+    Write(usize, u64),
+}
+
+/// A generated access stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryWorkload {
+    ops: Vec<MemOp>,
+}
+
+impl MemoryWorkload {
+    /// Generates `n` operations over `rows` addresses with the given
+    /// write fraction and address pattern, from `rng` (deterministic per
+    /// seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `write_fraction` is outside `[0, 1]`.
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        rows: usize,
+        write_fraction: f64,
+        pattern: AddressPattern,
+        rng: &mut R,
+    ) -> Self {
+        assert!(rows > 0, "need at least one row");
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction out of range"
+        );
+        let hot: Vec<usize> = (0..rows.min(4)).collect();
+        let mut seq = 0usize;
+        let ops = (0..n)
+            .map(|_| {
+                let addr = match pattern {
+                    AddressPattern::Sequential => {
+                        seq = (seq + 1) % rows;
+                        seq
+                    }
+                    AddressPattern::Random => rng.gen_range(0..rows),
+                    AddressPattern::Hotspot => {
+                        if rng.gen_bool(0.9) {
+                            hot[rng.gen_range(0..hot.len())]
+                        } else {
+                            rng.gen_range(0..rows)
+                        }
+                    }
+                };
+                if rng.gen_bool(write_fraction) {
+                    MemOp::Write(addr, rng.gen_range(0..=0xFFFF))
+                } else {
+                    MemOp::Read(addr)
+                }
+            })
+            .collect();
+        Self { ops }
+    }
+
+    /// The operations, in order.
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Outcome of replaying a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkloadReport {
+    /// Operations attempted.
+    pub attempted: usize,
+    /// Operations whose timing was met and data verified.
+    pub correct: usize,
+    /// Reads that returned data disagreeing with a shadow model (only
+    /// possible for mistimed disciplines).
+    pub data_errors: usize,
+    /// Total time the access stream occupied.
+    pub total_time: Seconds,
+    /// Total access energy.
+    pub total_energy: Joules,
+}
+
+impl WorkloadReport {
+    /// Fraction of operations completed correctly.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Replays `workload` against `sram` under a supply waveform, checking
+/// every read against a software shadow array (ground truth). Accesses
+/// are issued back to back: each starts when the previous finished.
+///
+/// The `discipline` only affects constant-voltage accesses; pass the
+/// supply as [`Waveform::constant`] for the bundled/replica disciplines
+/// (the SI engine handles arbitrary waveforms via `*_under`).
+pub fn replay(
+    sram: &mut Sram,
+    workload: &MemoryWorkload,
+    supply: &Waveform,
+    discipline: TimingDiscipline,
+) -> WorkloadReport {
+    let mut shadow = vec![None::<u64>; sram.config().rows];
+    let mut report = WorkloadReport::default();
+    let mut t = Seconds(0.0);
+    let res = Seconds(100e-9);
+    let horizon = Seconds(10.0);
+    let constant = supply.as_constant().map(Volts);
+
+    for &op in workload.ops() {
+        report.attempted += 1;
+        let outcome = match (op, constant) {
+            (MemOp::Read(a), Some(v)) => sram.read_at(v, a, discipline),
+            (MemOp::Write(a, w), Some(v)) => sram.write_at(v, a, w, discipline),
+            (MemOp::Read(a), None) => sram.read_under(supply, t, a, res, horizon),
+            (MemOp::Write(a, w), None) => sram.write_under(supply, t, a, w, res, horizon),
+        };
+        if outcome.latency.0.is_finite() {
+            t = Seconds(t.0 + outcome.latency.0);
+            report.total_time = t;
+        }
+        report.total_energy += outcome.energy;
+        match op {
+            MemOp::Write(a, w) => {
+                if outcome.correct {
+                    shadow[a] = Some(w);
+                    report.correct += 1;
+                } else {
+                    // Storage may be partially corrupted: the shadow no
+                    // longer knows this address.
+                    shadow[a] = None;
+                }
+            }
+            MemOp::Read(a) => {
+                if outcome.correct {
+                    match (outcome.data, shadow[a]) {
+                        (Some(got), Some(expect)) if got != expect => {
+                            report.data_errors += 1;
+                        }
+                        _ => report.correct += 1,
+                    }
+                } else if outcome.data.is_some() {
+                    report.data_errors += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::SramConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(pattern: AddressPattern, seed: u64) -> MemoryWorkload {
+        MemoryWorkload::generate(200, 64, 0.4, pattern, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_range() {
+        let a = workload(AddressPattern::Random, 3);
+        let b = workload(AddressPattern::Random, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for op in a.ops() {
+            let addr = match op {
+                MemOp::Read(a) | MemOp::Write(a, _) => *a,
+            };
+            assert!(addr < 64);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let w = workload(AddressPattern::Hotspot, 5);
+        let hot = w
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, MemOp::Read(a) | MemOp::Write(a, _) if *a < 4))
+            .count();
+        assert!(hot > 150, "only {hot}/200 hit the hot set");
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let w = MemoryWorkload::generate(
+            130,
+            64,
+            0.0,
+            AddressPattern::Sequential,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let first = match w.ops()[0] {
+            MemOp::Read(a) => a,
+            _ => unreachable!("write fraction is 0"),
+        };
+        assert_eq!(first, 1);
+        // Address 1 repeats after a full wrap of 64.
+        let again = match w.ops()[64] {
+            MemOp::Read(a) => a,
+            _ => unreachable!(),
+        };
+        assert_eq!(again, 1);
+    }
+
+    #[test]
+    fn si_discipline_yields_100_percent_at_any_voltage() {
+        for vdd in [1.0, 0.4, 0.25] {
+            let mut sram = Sram::new(SramConfig::paper_1kbit());
+            let w = workload(AddressPattern::Random, 7);
+            let r = replay(
+                &mut sram,
+                &w,
+                &Waveform::constant(vdd),
+                TimingDiscipline::Completion,
+            );
+            assert_eq!(r.yield_fraction(), 1.0, "yield at {vdd} V");
+            assert_eq!(r.data_errors, 0);
+            assert!(r.total_energy.0 > 0.0);
+            assert!(r.total_time.0 > 0.0);
+        }
+    }
+
+    #[test]
+    fn bundled_discipline_fails_the_same_workload_at_low_voltage() {
+        let mut sram = Sram::new(SramConfig::paper_1kbit());
+        let w = workload(AddressPattern::Random, 7);
+        let r = replay(
+            &mut sram,
+            &w,
+            &Waveform::constant(0.25),
+            TimingDiscipline::bundled_nominal(),
+        );
+        assert!(r.yield_fraction() < 0.1, "yield {}", r.yield_fraction());
+    }
+
+    #[test]
+    fn replay_under_noisy_supply_is_correct_and_slower() {
+        let mut sram = Sram::new(SramConfig::paper_1kbit());
+        let w = MemoryWorkload::generate(
+            40,
+            64,
+            0.5,
+            AddressPattern::Hotspot,
+            &mut StdRng::seed_from_u64(9),
+        );
+        // 0.5 V mean with a ±0.2 V wobble.
+        let supply = Waveform::sine(0.5, 0.2, emc_units::Hertz(50e3), 0.0);
+        let noisy = replay(&mut sram, &w, &supply, TimingDiscipline::Completion);
+        assert_eq!(noisy.yield_fraction(), 1.0);
+        assert_eq!(noisy.data_errors, 0);
+
+        let mut sram2 = Sram::new(SramConfig::paper_1kbit());
+        let steady = replay(
+            &mut sram2,
+            &w,
+            &Waveform::constant(0.7),
+            TimingDiscipline::Completion,
+        );
+        assert!(noisy.total_time > steady.total_time);
+    }
+
+    #[test]
+    fn energy_scales_with_write_fraction() {
+        let run = |wf: f64| {
+            let mut sram = Sram::new(SramConfig::paper_1kbit());
+            let w = MemoryWorkload::generate(
+                150,
+                64,
+                wf,
+                AddressPattern::Random,
+                &mut StdRng::seed_from_u64(11),
+            );
+            replay(
+                &mut sram,
+                &w,
+                &Waveform::constant(0.5),
+                TimingDiscipline::Completion,
+            )
+            .total_energy
+        };
+        assert!(run(0.9) > run(0.1), "writes cost more than reads");
+    }
+}

@@ -1,0 +1,96 @@
+//! The speed-independent SRAM under an unstable supply (paper Figs. 5–7)
+//! and the hybrid design-style controller (Fig. 2).
+//!
+//! ```sh
+//! cargo run --example power_adaptive_memory
+//! ```
+
+use energy_modulated::core::hybrid::HybridController;
+use energy_modulated::sram::{Sram, SramConfig, TimingDiscipline};
+use energy_modulated::units::{Seconds, Volts, Waveform};
+
+fn main() {
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+
+    println!("== Fig. 5: SRAM read delay in inverter delays ==");
+    println!("  Vdd [V]   SRAM/inverter ratio");
+    for (v, ratio) in sram
+        .timing()
+        .calibration()
+        .mismatch_series(Volts(0.19), Volts(1.0), 9)
+    {
+        println!("   {:.2}        {:>6.1}", v.0, ratio);
+    }
+    println!("  (anchors: 50 at 1 V, 158 at 190 mV — as published)");
+
+    println!();
+    println!("== Timing disciplines across the voltage range ==");
+    println!("  Vdd [V]   completion        bundled(2x @1V)   ");
+    for v in [1.0, 0.6, 0.4, 0.3, 0.25] {
+        let si = sram.read_at(Volts(v), 0, TimingDiscipline::Completion);
+        let b = sram.read_at(Volts(v), 0, TimingDiscipline::bundled_nominal());
+        println!(
+            "   {:.2}     {:>9.1} ns OK    {:>9.1} ns {}",
+            v,
+            si.latency.0 * 1e9,
+            b.latency.0 * 1e9,
+            if b.correct { "OK" } else { "CORRUPT" }
+        );
+    }
+
+    println!();
+    println!("== Fig. 7: two writes under a rising supply ==");
+    let supply = Waveform::pwl([
+        (Seconds(0.0), 0.3),
+        (Seconds(20e-6), 0.3),
+        (Seconds(22e-6), 1.0),
+    ]);
+    let res = Seconds(50e-9);
+    let horizon = Seconds(1.0);
+    let w1 = sram.write_under(&supply, Seconds(0.0), 0, 0xAAAA, res, horizon);
+    let w2 = sram.write_under(&supply, Seconds(25e-6), 1, 0x5555, res, horizon);
+    println!(
+        "  write #1 at Vdd = 0.30 V: {:>8.2} µs  ({} )",
+        w1.latency.0 * 1e6,
+        if w1.correct { "correct" } else { "failed" }
+    );
+    println!(
+        "  write #2 at Vdd = 1.00 V: {:>8.2} µs  ({} )",
+        w2.latency.0 * 1e6,
+        if w2.correct { "correct" } else { "failed" }
+    );
+    println!(
+        "  -> the self-timed SRAM simply takes {}x longer when starved",
+        (w1.latency.0 / w2.latency.0).round()
+    );
+
+    println!();
+    println!("== Energy per 16-bit write (paper: 5.8 pJ @ 1 V, 1.9 pJ @ 0.4 V) ==");
+    for v in [1.0, 0.7, 0.5, 0.4, 0.3] {
+        let w = sram.write_at(Volts(v), 2, 0x0F0F, TimingDiscipline::Completion);
+        println!("   {:.1} V : {:>5.2} pJ", v, w.energy.0 * 1e12);
+    }
+    let (mep, e_min) = sram.energy_model().minimum_energy_point(
+        sram.timing(),
+        energy_modulated::sram::energy::Op::Write,
+        Volts(0.15),
+        Volts(1.0),
+        400,
+    );
+    println!(
+        "  minimum energy point: {:.0} mV at {:.2} pJ (paper: 400 mV)",
+        mep.0 * 1e3,
+        e_min.0 * 1e12
+    );
+
+    println!();
+    println!("== The hybrid controller (Fig. 2) ==");
+    let ctl = HybridController::new_default();
+    println!(
+        "  switch threshold from the bundled failure analysis: {:.0} mV",
+        ctl.threshold().0 * 1e3
+    );
+    for v in [0.25, 0.4, 0.6, 1.0] {
+        println!("  at {:.2} V the controller selects: {}", v, ctl.choose(Volts(v)));
+    }
+}

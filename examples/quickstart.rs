@@ -1,0 +1,57 @@
+//! Quickstart: build a self-timed counter, run it at two supply
+//! voltages, then let a quantum of charge do the counting.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use energy_modulated::device::DeviceModel;
+use energy_modulated::netlist::Netlist;
+use energy_modulated::selftimed::{SelfTimedOscillator, ToggleRippleCounter};
+use energy_modulated::sensors::ChargeToDigitalConverter;
+use energy_modulated::sim::{Simulator, SupplyKind};
+use energy_modulated::units::{Farads, Seconds, Volts, Waveform};
+
+fn count_for(vdd: f64, window: Seconds) -> (u64, f64) {
+    let mut nl = Netlist::new();
+    let osc = SelfTimedOscillator::build(&mut nl, "osc");
+    let counter = ToggleRippleCounter::build(&mut nl, 16, osc.output(), "cnt");
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let rail = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(vdd)));
+    sim.assign_all(rail);
+    osc.prime(&mut sim);
+    sim.start();
+    sim.run_until(window);
+    (counter.read(&sim), sim.energy_drawn(rail).0)
+}
+
+fn main() {
+    println!("== Self-timed counter: computation rate follows Vdd ==");
+    let window = Seconds(300e-9);
+    for vdd in [1.0, 0.7, 0.5, 0.4, 0.3] {
+        let (count, energy) = count_for(vdd, window);
+        println!(
+            "  Vdd = {vdd:.2} V  ->  count after {:>4.0} ns: {count:>5}   energy {:>8.1} fJ",
+            window.0 * 1e9,
+            energy * 1e15
+        );
+    }
+
+    println!();
+    println!("== Charge-to-digital conversion: energy quantum -> code ==");
+    let adc = ChargeToDigitalConverter::new(Farads(2e-12), 12);
+    for vin in [0.4, 0.6, 0.8, 1.0] {
+        let r = adc.convert(Volts(vin));
+        println!(
+            "  Vin = {vin:.1} V  ->  code {:>4}   {} transitions in {:.2} µs, residual {:.0} mV",
+            r.code,
+            r.transitions,
+            r.duration.0 * 1e6,
+            r.v_residual.0 * 1e3
+        );
+    }
+    println!();
+    println!("A fixed sampling capacitor turns a voltage (a charge quantum)");
+    println!("into a proportional amount of computation - the core idea of");
+    println!("energy-modulated computing.");
+}

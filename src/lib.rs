@@ -1,0 +1,50 @@
+//! # energy-modulated
+//!
+//! A workspace-wide facade for the reproduction of *Energy-modulated
+//! computing* (A. Yakovlev, DATE 2011): self-timed sub-threshold
+//! circuits, energy-harvester power chains, a speed-independent SRAM,
+//! charge-to-digital and reference-free voltage sensors, and
+//! power-adaptive system control — all as behavioural simulation in
+//! pure Rust.
+//!
+//! Each module re-exports one substrate crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`units`] | `emc-units` | typed quantities, waveforms |
+//! | [`device`] | `emc-device` | Vdd-dependent delay/energy/leakage models |
+//! | [`netlist`] | `emc-netlist` | gate-level circuits, dual-rail encoding |
+//! | [`sim`] | `emc-sim` | event-driven simulation under varying Vdd |
+//! | [`power`] | `emc-power` | harvesters, storage, DC-DC, MPPT |
+//! | [`selftimed`] | `emc-async` | toggles, counters, WCHB and bundled pipelines |
+//! | [`sram`] | `emc-sram` | the speed-independent SRAM and baselines |
+//! | [`sensors`] | `emc-sensors` | charge-to-digital and reference-free sensing |
+//! | [`petri`] | `emc-petri` | Petri nets with energy tokens |
+//! | [`sched`] | `emc-sched` | schedulers, CTMC analysis, power games |
+//! | [`core`] | `emc-core` | QoS curves, hybrid control, the holistic loop |
+//!
+//! # Examples
+//!
+//! ```
+//! use energy_modulated::sensors::ChargeToDigitalConverter;
+//! use energy_modulated::units::{Farads, Volts};
+//!
+//! let adc = ChargeToDigitalConverter::new(Farads(2e-12), 12);
+//! let result = adc.convert(Volts(0.8));
+//! assert!(result.code > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use emc_async as selftimed;
+pub use emc_core as core;
+pub use emc_device as device;
+pub use emc_netlist as netlist;
+pub use emc_petri as petri;
+pub use emc_power as power;
+pub use emc_sched as sched;
+pub use emc_sensors as sensors;
+pub use emc_sim as sim;
+pub use emc_sram as sram;
+pub use emc_units as units;

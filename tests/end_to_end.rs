@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the paper's claims exercised through
+//! the public facade, spanning device model → simulator → circuits →
+//! sensors → system control.
+
+use energy_modulated::core::qos::{measure_pipeline_qos, DesignStyle};
+use energy_modulated::device::{DeviceModel, SramLogicCalibration};
+use energy_modulated::selftimed::{DualRailPipeline, SelfTimedOscillator, ToggleRippleCounter};
+use energy_modulated::sensors::{ChargeToDigitalConverter, ReferenceFreeSensor};
+use energy_modulated::netlist::Netlist;
+use energy_modulated::sim::{Simulator, SupplyKind};
+use energy_modulated::sram::{Sram, SramConfig, TimingDiscipline};
+use energy_modulated::units::{Farads, Hertz, Seconds, Volts, Waveform};
+
+/// The headline chain: the same device model that anchors Fig. 5 also
+/// powers the reference-free sensor's accuracy claim — the mismatch *is*
+/// the sensor.
+#[test]
+fn fig5_mismatch_feeds_fig12_sensor() {
+    let cal = SramLogicCalibration::solve(DeviceModel::umc90());
+    assert!((cal.delay_ratio(Volts(1.0)) - 50.0).abs() < 0.5);
+    assert!((cal.delay_ratio(Volts(0.19)) - 158.0).abs() < 2.0);
+
+    let sensor = ReferenceFreeSensor::new(8);
+    assert!(sensor.worst_case_error().0 <= 0.010);
+    // The unity-gain code at 1 V is exactly the Fig. 5 nominal anchor.
+    let unity = ReferenceFreeSensor::new(1);
+    assert_eq!(unity.measure(Volts(1.0)), 50);
+}
+
+/// A full energy-modulated pipeline: charge a capacitor, let the counter
+/// convert it, and verify the code maps back to the voltage through the
+/// calibration — an ADC built from nothing but self-timed logic.
+#[test]
+fn charge_quantum_round_trips_to_voltage() {
+    let adc = ChargeToDigitalConverter::new(Farads(2e-12), 12);
+    let decode = adc.calibrate(Volts(0.4), Volts(1.0), 25);
+    for &v in &[0.45, 0.65, 0.85] {
+        let code = adc.convert(Volts(v)).code;
+        let est = decode(code);
+        assert!(
+            (est.0 - v).abs() < 0.03,
+            "ADC round trip at {v} V gave {est}"
+        );
+    }
+}
+
+/// SRAM contents survive a brown-out: writes stall while the rail is
+/// dead and complete when it recovers, with data intact.
+#[test]
+fn sram_survives_brownout_cycle() {
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+    // Healthy → dead → healthy supply.
+    let supply = Waveform::pwl([
+        (Seconds(0.0), 0.8),
+        (Seconds(5e-6), 0.8),
+        (Seconds(5.5e-6), 0.05),
+        (Seconds(20e-6), 0.05),
+        (Seconds(21e-6), 0.8),
+    ]);
+    let res = Seconds(50e-9);
+    let horizon = Seconds(1.0);
+    // Write while healthy.
+    let w1 = sram.write_under(&supply, Seconds(0.0), 0, 0x1234, res, horizon);
+    assert!(w1.correct);
+    // A write launched into the brown-out completes only after recovery.
+    let w2 = sram.write_under(&supply, Seconds(6e-6), 1, 0x5678, res, horizon);
+    assert!(w2.correct);
+    assert!(
+        w2.latency.0 > 14e-6,
+        "write must have waited out the brown-out, latency {}",
+        w2.latency
+    );
+    assert_eq!(sram.peek(0), 0x1234);
+    assert_eq!(sram.peek(1), 0x5678);
+}
+
+/// The dual-rail pipeline and the toggle counter share one AC-powered
+/// domain and both make progress without hazards — self-timed
+/// subsystems compose.
+#[test]
+fn composed_subsystems_share_an_ac_rail() {
+    let mut nl = Netlist::new();
+    let osc = SelfTimedOscillator::build(&mut nl, "osc");
+    let counter = ToggleRippleCounter::build(&mut nl, 3, osc.output(), "cnt");
+    let pipe = DualRailPipeline::build_wide(&mut nl, 2, 2, "pipe");
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let period = 1e-6;
+    let d = sim.add_domain(
+        "ac",
+        SupplyKind::ideal_with_resolution(
+            Waveform::sine(0.25, 0.1, Hertz(1.0 / period), 0.0).clamped(0.0, 2.0),
+            Seconds(period / 128.0),
+        ),
+    );
+    sim.assign_all(d);
+    counter.watch(&mut sim);
+    osc.prime(&mut sim);
+    sim.start();
+    sim.run_until(Seconds(4.0 * period));
+
+    let words = [2, 1, 3];
+    let out = pipe.transfer(&mut sim, &words, Seconds(5e-3));
+    assert!(out.completed, "pipeline starved: {out:?}");
+    assert_eq!(out.received, words.to_vec());
+    assert!(counter.read(&sim) > 0 || sim.transition_count(counter.toggles()[0]) > 0);
+    assert!(sim.hazards().is_empty());
+}
+
+/// The crossover of Fig. 2, end to end: at nominal supply the bundled
+/// style is the more efficient; in deep sub-threshold only the
+/// speed-independent style still delivers.
+#[test]
+fn design_style_crossover() {
+    let nominal_d1 = measure_pipeline_qos(DesignStyle::SpeedIndependent, Volts(1.0), 3);
+    let nominal_d2 = measure_pipeline_qos(DesignStyle::BundledData, Volts(1.0), 3);
+    assert!(nominal_d2.qos_per_watt() > nominal_d1.qos_per_watt());
+
+    let sub_d1 = measure_pipeline_qos(DesignStyle::SpeedIndependent, Volts(0.16), 3);
+    assert_eq!(sub_d1.correct_fraction, 1.0);
+    assert!(sub_d1.qos() > 0.0);
+}
+
+/// Energy bookkeeping is conserved across the facade: what the
+/// converter's capacitor loses equals what the simulator accounted for
+/// (within the rising-edge-only accounting convention).
+#[test]
+fn energy_conservation_across_stack() {
+    let c = Farads(3e-12);
+    let adc = ChargeToDigitalConverter::new(c, 12);
+    let r = adc.convert(Volts(0.9));
+    let lost = c.stored_energy(Volts(0.9)).0 - c.stored_energy(r.v_residual).0;
+    assert!(r.energy.0 > 0.0);
+    assert!(
+        r.energy.0 < 2.5 * lost && r.energy.0 > 0.4 * lost,
+        "accounted {} vs stored loss {lost}",
+        r.energy
+    );
+    // And the conversion produced real work.
+    assert!(r.code > 100);
+}
+
+/// Determinism across the whole stack: identical runs give identical
+/// results (the reproducibility claim of DESIGN.md §4).
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let adc = ChargeToDigitalConverter::new(Farads(2e-12), 10);
+        let a = adc.convert(Volts(0.7));
+        let q = measure_pipeline_qos(DesignStyle::BundledData, Volts(0.3), 42);
+        (a, q)
+    };
+    assert_eq!(run(), run());
+}
+
+/// The three SRAM timing disciplines agree at nominal supply and
+/// disagree exactly where the paper says they must.
+#[test]
+fn discipline_agreement_matrix() {
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+    sram.write_at(Volts(1.0), 7, 0xCAFE, TimingDiscipline::Completion);
+    for disc in [
+        TimingDiscipline::Completion,
+        TimingDiscipline::bundled_nominal(),
+        TimingDiscipline::replica_default(),
+    ] {
+        let r = sram.read_at(Volts(1.0), 7, disc);
+        assert!(r.correct, "{disc:?} must be correct at 1 V");
+        assert_eq!(r.data, Some(0xCAFE));
+    }
+    // At 0.25 V only the genuine completion discipline survives.
+    let si = sram.read_at(Volts(0.25), 7, TimingDiscipline::Completion);
+    let bundled = sram.read_at(Volts(0.25), 7, TimingDiscipline::bundled_nominal());
+    assert!(si.correct);
+    assert!(!bundled.correct);
+}

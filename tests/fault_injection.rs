@@ -1,0 +1,129 @@
+//! Dependability under stuck-at faults — the §I "interplay between
+//! energy, performance and dependability" made concrete.
+//!
+//! The celebrated self-checking property of speed-independent circuits:
+//! a stuck-at fault on an internal gate makes the handshake **deadlock**
+//! (the completion never announces), so the environment *knows*
+//! something is wrong. The bundled-data design's matched delay fires
+//! regardless, delivering **silently corrupted data**.
+
+use energy_modulated::device::DeviceModel;
+use energy_modulated::netlist::Netlist;
+use energy_modulated::selftimed::{BundledPipeline, DualRailAdder, DualRailPipeline};
+use energy_modulated::sim::{Simulator, SupplyKind};
+use energy_modulated::units::{Seconds, Waveform};
+
+fn sim_for(nl: Netlist, vdd: f64) -> Simulator {
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(vdd)));
+    sim.assign_all(d);
+    sim.start();
+    sim.run_to_quiescence(100_000);
+    sim
+}
+
+/// A stuck C-element in a WCHB pipeline: the transfer stalls, and
+/// nothing wrong ever comes out.
+#[test]
+fn si_pipeline_deadlocks_but_never_lies() {
+    let mut corrupted = 0;
+    let mut stalled = 0;
+    // Try sticking several different gates.
+    for victim in [2usize, 5, 8, 11] {
+        let mut nl = Netlist::new();
+        let p = DualRailPipeline::build_wide(&mut nl, 3, 2, "p");
+        let mut sim = sim_for(nl, 0.8);
+        let gate = sim.netlist().gate_id(victim);
+        if sim.netlist().gate_ref(gate).kind().is_source() {
+            continue;
+        }
+        sim.inject_stuck_at(gate, false);
+        let words = [2, 1, 3, 2];
+        let out = p.transfer(&mut sim, &words, Seconds(50e-6));
+        if !out.completed {
+            stalled += 1;
+        }
+        for (got, want) in out.received.iter().zip(&words) {
+            if got != want {
+                corrupted += 1;
+            }
+        }
+    }
+    assert_eq!(corrupted, 0, "an SI pipeline must never deliver wrong data");
+    assert!(stalled >= 2, "stuck-at faults should stall transfers");
+}
+
+/// The same class of fault in a bundled pipeline sails through the
+/// handshake and delivers wrong words.
+#[test]
+fn bundled_pipeline_corrupts_silently() {
+    let mut nl = Netlist::new();
+    let p = BundledPipeline::build_wide(&mut nl, 2, 4, 3, 2.0, "b");
+    // Stick a data-path inverter.
+    let victim = p.stages()[0].logic_gates[1];
+    let mut sim = sim_for(nl, 1.0);
+    sim.inject_stuck_at(victim, true);
+    let words = [0xF, 0x0, 0xA, 0x5];
+    let out = p.transfer(&mut sim, &words, Seconds(50e-6));
+    assert!(
+        out.completed,
+        "the matched delay line knows nothing of the fault"
+    );
+    assert_ne!(
+        out.received,
+        words.to_vec(),
+        "bundled data must corrupt silently under this fault"
+    );
+}
+
+/// The DIMS adder with a stuck minterm: additions needing that minterm
+/// hang at the completion detector; the rest still finish correctly.
+#[test]
+fn dims_adder_fault_containment() {
+    let mut nl = Netlist::new();
+    let adder = DualRailAdder::build(&mut nl, 4, "add");
+    let mut sim = sim_for(nl, 0.8);
+    // Stick the t-rail OR of the LSB sum low: sums with odd results in
+    // bit 0 can never complete.
+    let victim = sim
+        .netlist()
+        .iter_nets()
+        .find(|n| sim.netlist().net_name(*n) == "add.fa0.sum.t")
+        .and_then(|n| sim.netlist().driver_of(n))
+        .expect("sum rail gate exists");
+    sim.inject_stuck_at(victim, false);
+
+    // 2 + 2 = 4: LSB sum is 0 — the stuck t-rail is not needed.
+    let deadline = Seconds(sim.now().0 + 1e-3);
+    let ok = adder.add(&mut sim, 2, 2, deadline);
+    assert_eq!(ok, Some(4), "fault-free paths still complete correctly");
+
+    // 2 + 1 = 3: LSB sum is 1 — needs the stuck rail: must hang, not lie.
+    let deadline = Seconds(sim.now().0 + 1e-3);
+    let hung = adder.add(&mut sim, 2, 1, deadline);
+    assert_eq!(hung, None, "the fault must surface as a stall, not a wrong sum");
+}
+
+/// Stuck-at on an oscillator freezes counting without corrupting the
+/// already-accumulated count.
+#[test]
+fn counter_freezes_cleanly() {
+    use energy_modulated::selftimed::{SelfTimedOscillator, ToggleRippleCounter};
+    let mut nl = Netlist::new();
+    let osc = SelfTimedOscillator::build(&mut nl, "osc");
+    let cnt = ToggleRippleCounter::build(&mut nl, 8, osc.output(), "cnt");
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(0.6)));
+    sim.assign_all(d);
+    cnt.watch(&mut sim);
+    osc.prime(&mut sim);
+    sim.start();
+    sim.run_until(Seconds(1e-6));
+    let osc_gate = sim.netlist().driver_of(osc.output()).unwrap();
+    sim.inject_stuck_at(osc_gate, false);
+    sim.run_to_quiescence(100_000);
+    let frozen = cnt.read(&sim);
+    sim.run_until(Seconds(sim.now().0 + 1e-6));
+    assert_eq!(cnt.read(&sim), frozen, "count must freeze, not drift");
+    assert_eq!(sim.stuck_at(osc_gate), Some(false));
+}

@@ -1,0 +1,108 @@
+//! The README's "what reproduces" table as executable assertions — one
+//! test per headline claim, so the claims can never drift from the code.
+
+use energy_modulated::core::qos::{measure_pipeline_qos, DesignStyle};
+use energy_modulated::device::{DeviceModel, SramLogicCalibration};
+use energy_modulated::sensors::{ChargeToDigitalConverter, ReferenceFreeSensor};
+use energy_modulated::sram::energy::Op;
+use energy_modulated::sram::{Sram, SramConfig, TimingDiscipline};
+use energy_modulated::units::{Farads, Seconds, Volts, Waveform};
+
+/// Fig. 5: 50 inverter delays at 1 V, 158 at 190 mV, monotone between.
+#[test]
+fn claim_fig5_anchors() {
+    let cal = SramLogicCalibration::solve(DeviceModel::umc90());
+    assert!((cal.delay_ratio(Volts(1.0)) - 50.0).abs() < 0.5);
+    assert!((cal.delay_ratio(Volts(0.19)) - 158.0).abs() < 2.0);
+    let series = cal.mismatch_series(Volts(0.19), Volts(1.0), 30);
+    for w in series.windows(2) {
+        assert!(w[0].1 > w[1].1, "mismatch curve must fall with Vdd");
+    }
+}
+
+/// §III-A: 5.8 pJ per 16-bit write at 1 V, 1.9 pJ at 0.4 V, MEP near
+/// 0.4 V.
+#[test]
+fn claim_sram_energy_numbers() {
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+    let e1 = sram.write_at(Volts(1.0), 0, 1, TimingDiscipline::Completion).energy;
+    let e04 = sram.write_at(Volts(0.4), 0, 2, TimingDiscipline::Completion).energy;
+    assert!((e1.0 * 1e12 - 5.8).abs() < 0.01, "E(1V) = {e1}");
+    assert!((e04.0 * 1e12 - 1.9).abs() < 0.01, "E(0.4V) = {e04}");
+    let (mep, _) = sram.energy_model().minimum_energy_point(
+        sram.timing(),
+        Op::Write,
+        Volts(0.15),
+        Volts(1.0),
+        400,
+    );
+    assert!(
+        (0.35..=0.5).contains(&mep.0),
+        "minimum energy point {mep} (paper: 0.4 V)"
+    );
+}
+
+/// Fig. 7: a write under depleted supply is hundreds of times slower
+/// than at nominal, and both are correct.
+#[test]
+fn claim_fig7_latency_ratio() {
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+    let supply = Waveform::pwl([
+        (Seconds(0.0), 0.25),
+        (Seconds(30e-6), 0.25),
+        (Seconds(32e-6), 1.0),
+    ]);
+    let res = Seconds(50e-9);
+    let horizon = Seconds(1.0);
+    let slow = sram.write_under(&supply, Seconds(0.0), 0, 0xAAAA, res, horizon);
+    let fast = sram.write_under(&supply, Seconds(35e-6), 1, 0x5555, res, horizon);
+    assert!(slow.correct && fast.correct);
+    let ratio = slow.latency.0 / fast.latency.0;
+    assert!(ratio > 300.0, "ratio {ratio}");
+    assert_eq!(sram.peek(0), 0xAAAA);
+    assert_eq!(sram.peek(1), 0x5555);
+}
+
+/// Fig. 12 + §III-C: ≤ 10 mV worst-case accuracy over 0.2 – 1 V.
+#[test]
+fn claim_reference_free_accuracy() {
+    let sensor = ReferenceFreeSensor::new(8);
+    let err = sensor.worst_case_error();
+    assert!(err.0 <= 0.010, "worst error {err}");
+}
+
+/// Fig. 11: the charge-to-code curve is monotone and deterministic.
+#[test]
+fn claim_charge_to_code_monotone() {
+    let adc = ChargeToDigitalConverter::new(Farads(2e-12), 12);
+    let a = adc.code_curve(Volts(0.4), Volts(1.0), 5);
+    let b = adc.code_curve(Volts(0.4), Volts(1.0), 5);
+    assert_eq!(a, b, "conversion must be deterministic");
+    for w in a.windows(2) {
+        assert!(w[1].1.code > w[0].1.code, "code must grow with Vin");
+    }
+}
+
+/// Fig. 2: bundled more efficient at nominal; only dual-rail correct in
+/// deep sub-threshold.
+#[test]
+fn claim_design_crossover() {
+    let d1 = measure_pipeline_qos(DesignStyle::SpeedIndependent, Volts(1.0), 9);
+    let d2 = measure_pipeline_qos(DesignStyle::BundledData, Volts(1.0), 9);
+    assert!(d2.qos_per_watt() > 1.5 * d1.qos_per_watt());
+    let sub = measure_pipeline_qos(DesignStyle::SpeedIndependent, Volts(0.15), 9);
+    assert_eq!(sub.correct_fraction, 1.0);
+    assert!(sub.qos() > 0.0);
+}
+
+/// §II-B: the bundled SRAM discipline silently fails below its margin
+/// voltage while completion detection keeps working to ~0.2 V.
+#[test]
+fn claim_bundled_fails_where_completion_survives() {
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+    sram.write_at(Volts(1.0), 3, 0x0FF0, TimingDiscipline::Completion);
+    let si = sram.read_at(Volts(0.25), 3, TimingDiscipline::Completion);
+    let bundled = sram.read_at(Volts(0.25), 3, TimingDiscipline::bundled_nominal());
+    assert!(si.correct && si.data == Some(0x0FF0));
+    assert!(!bundled.correct && bundled.data.is_none());
+}
