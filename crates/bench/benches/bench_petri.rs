@@ -1,7 +1,8 @@
 //! Petri-net engine benchmarks: firing throughput and bounded
 //! reachability exploration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emc_bench::harness::{BatchSize, Criterion};
+use emc_bench::{criterion_group, criterion_main};
 use emc_petri::{reachable_markings, PetriNet, TaskGraph};
 use emc_units::{Joules, Seconds};
 

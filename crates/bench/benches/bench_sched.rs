@@ -1,7 +1,8 @@
 //! Scheduler benchmarks: energy-token scheduling over a fork-join
 //! workload, the CTMC solve, and best-response dynamics.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use emc_bench::harness::Criterion;
+use emc_bench::{criterion_group, criterion_main};
 use emc_petri::TaskGraph;
 use emc_sched::{ConcurrencyModel, EnergyTokenScheduler, PowerGame, TaskBid};
 use emc_units::{Joules, Seconds};

@@ -1,7 +1,8 @@
 //! Sensor benchmarks: a full gate-level charge-to-digital conversion and
 //! the reference-free sensor's measure/decode path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use emc_bench::harness::Criterion;
+use emc_bench::{criterion_group, criterion_main};
 use emc_sensors::{ChargeToDigitalConverter, ReferenceFreeSensor};
 use emc_units::{Farads, Volts};
 

@@ -1,7 +1,8 @@
 //! SRAM model benchmarks: access evaluation across disciplines and the
 //! work-integral engine under a varying supply.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use emc_bench::harness::Criterion;
+use emc_bench::{criterion_group, criterion_main};
 use emc_sram::{Sram, SramConfig, TimingDiscipline};
 use emc_units::{Seconds, Volts, Waveform};
 
@@ -55,8 +56,7 @@ fn bench_construction(c: &mut Criterion) {
 
 fn bench_workload_replay(c: &mut Criterion) {
     use emc_sram::{replay, AddressPattern, MemoryWorkload};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use emc_prng::StdRng;
     let mut g = c.benchmark_group("sram_workload");
     g.sample_size(20);
     let w = MemoryWorkload::generate(

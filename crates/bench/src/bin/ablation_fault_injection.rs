@@ -1,11 +1,16 @@
 //! S10 — dependability under stuck-at faults (§I's energy/performance/
 //! dependability interplay): speed-independent circuits deadlock rather
 //! than lie; bundled circuits corrupt silently.
+//!
+//! Every (design, victim-gate) pair is one independent simulation, so
+//! the whole injection matrix runs as a campaign (`--smoke` injects on
+//! every 4th gate; `--threads`, `--seed` as usual).
 
 use emc_async::{BundledPipeline, DualRailPipeline};
-use emc_bench::Series;
+use emc_bench::{print_campaign_summary, CampaignArgs, Series};
 use emc_device::DeviceModel;
 use emc_netlist::Netlist;
+use emc_sim::campaign::{run_campaign, RunReport};
 use emc_sim::{Simulator, SupplyKind};
 use emc_units::{Seconds, Waveform};
 
@@ -17,72 +22,113 @@ struct Tally {
     unaffected: usize,
 }
 
-fn main() {
-    let words = [2u64, 1, 3, 2, 0, 3];
-    let mut si = Tally::default();
-    let mut bundled = Tally::default();
-
-    // Inject a stuck-at-0 on every non-source gate of each design.
-    {
-        let probe_nl = {
-            let mut nl = Netlist::new();
-            let _ = DualRailPipeline::build_wide(&mut nl, 3, 2, "p");
-            nl
-        };
-        let gates = probe_nl.gate_count();
-        for victim in 0..gates {
-            let mut nl = Netlist::new();
-            let p = DualRailPipeline::build_wide(&mut nl, 3, 2, "p");
-            if nl.gate_ref(nl.gate_id(victim)).kind().is_source() {
-                continue;
-            }
-            let mut sim = Simulator::new(nl, DeviceModel::umc90());
-            let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(0.8)));
-            sim.assign_all(d);
-            sim.start();
-            sim.run_to_quiescence(100_000);
-            sim.inject_stuck_at(sim.netlist().gate_id(victim), false);
-            let out = p.transfer(&mut sim, &words, Seconds(50e-6));
-            si.runs += 1;
-            let wrong = out.received.iter().zip(&words).any(|(g, w)| g != w);
-            if wrong {
-                si.silent_corruption += 1;
-            } else if !out.completed {
-                si.stalled += 1;
-            } else {
-                si.unaffected += 1;
-            }
+impl Tally {
+    fn add(&mut self, outcome: f64) {
+        self.runs += 1;
+        match outcome as u32 {
+            0 => self.unaffected += 1,
+            1 => self.stalled += 1,
+            _ => self.silent_corruption += 1,
         }
     }
-    {
-        let probe_nl = {
-            let mut nl = Netlist::new();
-            let _ = BundledPipeline::build_wide(&mut nl, 2, 2, 3, 2.0, "b");
-            nl
-        };
-        for victim in 0..probe_nl.gate_count() {
-            let mut nl = Netlist::new();
-            let p = BundledPipeline::build_wide(&mut nl, 2, 2, 3, 2.0, "b");
-            if nl.gate_ref(nl.gate_id(victim)).kind().is_source() {
+
+    fn row(&self, is_bundled: f64) -> Vec<f64> {
+        vec![
+            is_bundled,
+            self.runs as f64,
+            self.stalled as f64,
+            self.silent_corruption as f64,
+            self.unaffected as f64,
+        ]
+    }
+}
+
+/// One injection run: which design, which gate to break.
+#[derive(Clone, Copy)]
+struct Injection {
+    bundled: bool,
+    victim: usize,
+}
+
+fn build(bundled: bool) -> (Netlist, Box<dyn Fn(&mut Simulator) -> (Vec<u64>, bool)>) {
+    let words = [2u64, 1, 3, 2, 0, 3];
+    let mut nl = Netlist::new();
+    if bundled {
+        let p = BundledPipeline::build_wide(&mut nl, 2, 2, 3, 2.0, "b");
+        (
+            nl,
+            Box::new(move |sim| {
+                let out = p.transfer(sim, &words, Seconds(50e-6));
+                (out.received, out.completed)
+            }),
+        )
+    } else {
+        let p = DualRailPipeline::build_wide(&mut nl, 3, 2, "p");
+        (
+            nl,
+            Box::new(move |sim| {
+                let out = p.transfer(sim, &words, Seconds(50e-6));
+                (out.received, out.completed)
+            }),
+        )
+    }
+}
+
+fn main() {
+    let args = CampaignArgs::parse(0xab1a_710);
+    let words = [2u64, 1, 3, 2, 0, 3];
+
+    // Enumerate the injection matrix: every non-source gate of each
+    // design (every 4th under --smoke).
+    let stride = if args.smoke { 4 } else { 1 };
+    let mut jobs: Vec<Injection> = Vec::new();
+    for bundled in [false, true] {
+        let (probe_nl, _) = build(bundled);
+        for victim in (0..probe_nl.gate_count()).step_by(stride) {
+            if probe_nl.gate_ref(probe_nl.gate_id(victim)).kind().is_source() {
                 continue;
             }
-            let mut sim = Simulator::new(nl, DeviceModel::umc90());
-            let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(1.0)));
-            sim.assign_all(d);
-            sim.start();
-            sim.run_to_quiescence(100_000);
-            sim.inject_stuck_at(sim.netlist().gate_id(victim), false);
-            let out = p.transfer(&mut sim, &words, Seconds(50e-6));
-            bundled.runs += 1;
-            let wrong = out.received.iter().zip(&words).any(|(g, w)| g != w)
-                || (out.completed && out.received.len() != words.len());
-            if wrong {
-                bundled.silent_corruption += 1;
-            } else if !out.completed {
-                bundled.stalled += 1;
-            } else {
-                bundled.unaffected += 1;
-            }
+            jobs.push(Injection { bundled, victim });
+        }
+    }
+
+    let report = run_campaign(&jobs, &args.config(), |job, ctx| {
+        let (nl, transfer) = build(job.bundled);
+        let vdd = if job.bundled { 1.0 } else { 0.8 };
+        let mut sim = Simulator::new(nl, DeviceModel::umc90());
+        let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(vdd)));
+        sim.assign_all(d);
+        sim.start();
+        sim.run_to_quiescence(100_000);
+        sim.inject_stuck_at(sim.netlist().gate_id(job.victim), false);
+        let (received, completed) = transfer(&mut sim);
+        let wrong = received.iter().zip(&words).any(|(g, w)| g != w)
+            || (job.bundled && completed && received.len() != words.len());
+        let outcome = if wrong {
+            2.0 // silent corruption
+        } else if !completed {
+            1.0 // detectable stall
+        } else {
+            0.0 // unaffected
+        };
+        let stats = emc_sim::RunStats {
+            fired: sim.total_transitions(),
+            hazards: sim.hazards().len() as u64,
+        };
+        RunReport::from_sim(&sim, ctx, stats, vec![
+            job.bundled as u8 as f64,
+            job.victim as f64,
+            outcome,
+        ])
+    });
+
+    let mut si = Tally::default();
+    let mut bundled = Tally::default();
+    for row in report.rows() {
+        if row[0] == 0.0 {
+            si.add(row[2]);
+        } else {
+            bundled.add(row[2]);
         }
     }
 
@@ -97,21 +143,10 @@ fn main() {
             "unaffected",
         ],
     );
-    s.push(vec![
-        0.0,
-        si.runs as f64,
-        si.stalled as f64,
-        si.silent_corruption as f64,
-        si.unaffected as f64,
-    ]);
-    s.push(vec![
-        1.0,
-        bundled.runs as f64,
-        bundled.stalled as f64,
-        bundled.silent_corruption as f64,
-        bundled.unaffected as f64,
-    ]);
+    s.push(si.row(0.0));
+    s.push(bundled.row(1.0));
     s.emit();
+    print_campaign_summary(&report);
     println!("SI pipeline:      {si:?}");
     println!("bundled pipeline: {bundled:?}");
     println!();

@@ -1,22 +1,41 @@
 //! Fig. 5 — mismatch between the scaling of SRAM and logic: read delay
 //! in inverter units across the Vdd range, anchored at the paper's
 //! published points (50 @ 1 V, 158 @ 190 mV).
+//!
+//! Runs as a campaign: one run per Vdd point, fanned out by the engine
+//! (`--smoke`, `--threads`, `--seed`; see `emc_bench::campaign`).
 
-use emc_bench::Series;
+use emc_bench::{campaign_series, print_campaign_summary, CampaignArgs};
 use emc_device::{DeviceModel, SramLogicCalibration};
+use emc_sim::campaign::{run_campaign, RunReport};
 use emc_units::Volts;
 
 fn main() {
+    let args = CampaignArgs::parse(0xf15_05);
     let cal = SramLogicCalibration::solve(DeviceModel::umc90());
-    let mut s = Series::new(
+
+    let (lo, hi) = (0.15, 1.0);
+    let n = args.points(18, 5);
+    let vdds: Vec<f64> = (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect();
+
+    let report = run_campaign(&vdds, &args.config(), |&vdd, ctx| {
+        let v = Volts(vdd);
+        RunReport::from_values(
+            ctx,
+            vec![vdd, cal.delay_ratio(v), cal.sram_read_delay(v).0 * 1e9],
+        )
+    });
+
+    let s = campaign_series(
         "fig05",
         "SRAM read delay in inverter delays vs Vdd",
         &["vdd_V", "ratio_inverters", "abs_read_delay_ns"],
+        &report,
     );
-    for (v, ratio) in cal.mismatch_series(Volts(0.15), Volts(1.0), 18) {
-        s.push(vec![v.0, ratio, cal.sram_read_delay(v).0 * 1e9]);
-    }
     s.emit();
+    print_campaign_summary(&report);
     println!(
         "anchors: ratio(1.0 V) = {:.1} (paper: 50), ratio(0.19 V) = {:.1} (paper: 158)",
         cal.delay_ratio(Volts(1.0)),

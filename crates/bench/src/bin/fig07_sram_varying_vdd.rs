@@ -1,12 +1,18 @@
 //! Fig. 7 — operation of the SI SRAM under varying Vdd: the first write
 //! under a depleted supply takes long; the second, under a healthy
 //! supply, is fast; both are correct.
+//!
+//! The two-write story is the paper's figure; the campaign engine then
+//! sweeps write/read latency and energy over the full Vdd range, one
+//! independent SRAM per point (`--smoke`, `--threads`, `--seed`).
 
-use emc_bench::Series;
+use emc_bench::{campaign_series, print_campaign_summary, CampaignArgs, Series};
+use emc_sim::campaign::{run_campaign, RunReport};
 use emc_sram::{Sram, SramConfig};
 use emc_units::{Seconds, Waveform};
 
 fn main() {
+    let args = CampaignArgs::parse(0xf15_07);
     let mut sram = Sram::new(SramConfig::paper_1kbit());
     // The supply ramps 0.25 V → 1.0 V at t = 30 µs.
     let supply = Waveform::pwl([
@@ -30,6 +36,39 @@ fn main() {
     s.push(vec![1.0, 0.0, 0.25, w1.latency.0 * 1e6, w1.correct as u8 as f64]);
     s.push(vec![2.0, 35.0, 1.0, w2.latency.0 * 1e6, w2.correct as u8 as f64]);
     s.emit();
+
+    // The sweep behind the figure: one self-contained SRAM per Vdd
+    // point, writing then reading back under a constant supply.
+    let (lo, hi) = (0.25, 1.0);
+    let n = args.points(16, 4);
+    let vdds: Vec<f64> = (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect();
+    let report = run_campaign(&vdds, &args.config(), |&vdd, ctx| {
+        let mut sram = Sram::new(SramConfig::paper_1kbit());
+        let supply = Waveform::constant(vdd);
+        let w = sram.write_under(&supply, Seconds(0.0), 0, 0xA5A5, res, horizon);
+        let r = sram.read_under(&supply, Seconds(w.latency.0 + 1e-9), 0, res, horizon);
+        let ok = w.correct && r.correct && r.data == Some(0xA5A5);
+        RunReport::from_values(
+            ctx,
+            vec![
+                vdd,
+                w.latency.0 * 1e6,
+                r.latency.0 * 1e6,
+                (w.energy.0 + r.energy.0) * 1e12,
+                ok as u8 as f64,
+            ],
+        )
+    });
+    let sweep = campaign_series(
+        "fig07_sweep",
+        "SI SRAM write+read latency and energy vs constant Vdd",
+        &["vdd_V", "write_latency_us", "read_latency_us", "energy_pJ", "correct"],
+        &report,
+    );
+    sweep.emit();
+    print_campaign_summary(&report);
 
     println!(
         "write #1 @ 0.25 V: {:>9.2} µs ({})",

@@ -1,27 +1,46 @@
 //! Fig. 11 — values of count against the initial voltage on the
 //! sampling capacitor: the charge-to-code transfer curve.
+//!
+//! Runs as a campaign: one conversion per initial voltage, fanned out
+//! by the engine (`--smoke`, `--threads`, `--seed`).
 
-use emc_bench::Series;
+use emc_bench::{campaign_series, print_campaign_summary, CampaignArgs};
 use emc_sensors::ChargeToDigitalConverter;
+use emc_sim::campaign::{run_campaign, RunReport};
 use emc_units::{Farads, Volts};
 
 fn main() {
+    let args = CampaignArgs::parse(0xf15_11);
     let adc = ChargeToDigitalConverter::new(Farads(2e-12), 14);
-    let mut s = Series::new(
+
+    let (lo, hi) = (0.3, 1.1);
+    let n = args.points(17, 5);
+    let vins: Vec<f64> = (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect();
+
+    let report = run_campaign(&vins, &args.config(), |&vin, ctx| {
+        let r = adc.convert(Volts(vin));
+        RunReport::from_values(
+            ctx,
+            vec![
+                vin,
+                r.code as f64,
+                r.transitions as f64,
+                r.charge_used.0 * 1e12,
+                r.duration.0 * 1e6,
+            ],
+        )
+    });
+
+    let s = campaign_series(
         "fig11",
         "final code vs initial Vdd on Csample (2 pF)",
         &["vin_V", "code", "transitions", "charge_used_pC", "duration_us"],
+        &report,
     );
-    for (v, r) in adc.code_curve(Volts(0.3), Volts(1.1), 17) {
-        s.push(vec![
-            v.0,
-            r.code as f64,
-            r.transitions as f64,
-            r.charge_used.0 * 1e12,
-            r.duration.0 * 1e6,
-        ]);
-    }
     s.emit();
+    print_campaign_summary(&report);
 
     // Proportionality of charge to count along the curve.
     let a = adc.convert(Volts(0.6));

@@ -1,0 +1,200 @@
+//! A minimal Criterion-shaped micro-benchmark harness.
+//!
+//! The workspace builds offline with no registry access, so the
+//! `criterion` crate is not available; this module keeps the bench
+//! sources unchanged except for their import line. It implements the
+//! subset of the API the benches use — `bench_function`,
+//! `benchmark_group`/`sample_size`/`finish`, `Bencher::iter` and
+//! `Bencher::iter_batched` — and reports min / median / max wall-clock
+//! per iteration on stdout.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup. Only a hint here; both variants
+/// time each routine invocation individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// The timing driver handed to every benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Times `f` over `sample_size` calls (after one warm-up call).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    let mut s = b.samples;
+    if s.is_empty() {
+        println!("{name:<40}  (no samples)");
+        return;
+    }
+    s.sort();
+    let median = s[s.len() / 2];
+    println!(
+        "{name:<40}  min {:>10}   median {:>10}   max {:>10}   ({} samples)",
+        fmt_duration(s[0]),
+        fmt_duration(median),
+        fmt_duration(*s.last().expect("non-empty")),
+        s.len()
+    );
+}
+
+/// The top-level driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLES: usize = 50;
+
+impl Criterion {
+    /// Runs one named benchmark with the default sample count.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named group of benchmarks with a shared sample count.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (output is streamed, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion_group!`: defines a function running each listed
+/// benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($bench(c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_collects_samples() {
+        let mut b = Bencher::new(4);
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -9,13 +9,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod harness;
+
+pub use campaign::{campaign_series, print_campaign_summary, CampaignArgs};
+
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// A figure data series: named columns and numeric rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Experiment id, e.g. `"fig05"`.
     pub id: String,
@@ -69,6 +72,26 @@ impl Series {
         }
     }
 
+    /// Serialises the series as pretty-printed JSON. Hand-rolled (the
+    /// workspace builds offline with no registry access): the format is
+    /// fixed — string id/title, string columns, `f64` rows — so a full
+    /// serialisation framework buys nothing here.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        let cols: Vec<String> = self.columns.iter().map(|c| json_string(c)).collect();
+        out.push_str(&format!("  \"columns\": [{}],\n", cols.join(", ")));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|v| json_number(*v)).collect();
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!("    [{}]{}\n", cells.join(", "), sep));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
     /// Writes the series as JSON to `target/figures/<id>.json` and
     /// prints + returns the path.
     ///
@@ -81,8 +104,7 @@ impl Series {
             .join("../../target/figures");
         fs::create_dir_all(&dir).expect("create target/figures");
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_string_pretty(self).expect("serialise series"))
-            .expect("write series JSON");
+        fs::write(&path, self.to_json()).expect("write series JSON");
         println!("  [saved {}]", path.display());
         path
     }
@@ -92,6 +114,42 @@ impl Series {
         self.print();
         self.save();
         println!();
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON numbers: shortest round-trippable form; non-finite values map to
+/// `null` (JSON has no NaN/Infinity).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on an integral f64 prints "1", which JSON would re-read
+        // as an integer; keep the float-ness explicit.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
     }
 }
 

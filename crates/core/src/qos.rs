@@ -3,10 +3,10 @@
 use emc_async::{BundledPipeline, DualRailPipeline};
 use emc_device::{DeviceModel, VariationModel};
 use emc_netlist::Netlist;
+use emc_sim::campaign::{run_campaign, CampaignConfig, RunReport};
 use emc_sim::{Simulator, SupplyKind};
 use emc_units::{Joules, Seconds, Volts, Watts, Waveform};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use emc_prng::StdRng;
 
 /// The two design styles the paper contrasts in §II-A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,9 +137,56 @@ pub fn qos_curve(style: DesignStyle, grid: &[f64], seed: u64) -> Vec<QosPoint> {
         .collect()
 }
 
+/// [`qos_curve`] fanned out on the campaign engine: each grid point is
+/// an independent gate-level simulation, so the sweep parallelises
+/// perfectly. Output is identical to the serial sweep — every point is
+/// measured with the same `seed`, and the engine guarantees aggregation
+/// order is submission order regardless of `threads` (`0` = one per
+/// core).
+pub fn qos_curve_parallel(
+    style: DesignStyle,
+    grid: &[f64],
+    seed: u64,
+    threads: usize,
+) -> Vec<QosPoint> {
+    let cfg = CampaignConfig::new(seed).threads(threads);
+    let report = run_campaign(grid, &cfg, |&v, ctx| {
+        let p = measure_pipeline_qos(style, Volts(v), seed);
+        RunReport::from_values(
+            ctx,
+            vec![
+                p.vdd.0,
+                p.throughput,
+                p.correct_fraction,
+                p.power.0,
+                p.energy_per_token.0,
+            ],
+        )
+    });
+    report
+        .rows()
+        .iter()
+        .map(|r| QosPoint {
+            vdd: Volts(r[0]),
+            throughput: r[1],
+            correct_fraction: r[2],
+            power: Watts(r[3]),
+            energy_per_token: Joules(r[4]),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_curve_matches_serial() {
+        let grid = [0.3, 0.6, 1.0];
+        let serial = qos_curve(DesignStyle::SpeedIndependent, &grid, 7);
+        let parallel = qos_curve_parallel(DesignStyle::SpeedIndependent, &grid, 7, 3);
+        assert_eq!(serial, parallel);
+    }
 
     #[test]
     fn both_styles_deliver_at_nominal() {

@@ -212,7 +212,7 @@ impl SramLogicCalibration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use emc_prng::{Rng, StdRng};
 
     fn cal() -> SramLogicCalibration {
         SramLogicCalibration::solve(DeviceModel::umc90())
@@ -306,14 +306,16 @@ mod tests {
         assert!(!SolveCalibrationError::DegenerateAnchors.to_string().is_empty());
     }
 
-    proptest! {
-        /// The solved curve interpolates monotonically for arbitrary
-        /// voltages between the anchors.
-        #[test]
-        fn ratio_between_anchor_values(v in 0.19f64..1.0) {
-            let c = cal();
+    /// The solved curve interpolates monotonically for arbitrary
+    /// voltages between the anchors.
+    #[test]
+    fn ratio_between_anchor_values() {
+        let c = cal();
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..256 {
+            let v = rng.gen_range(0.19f64..1.0);
             let r = c.delay_ratio(Volts(v));
-            prop_assert!((49.9..158.2).contains(&r), "ratio {r} at {v} V");
+            assert!((49.9..158.2).contains(&r), "ratio {r} at {v} V");
         }
     }
 }

@@ -7,11 +7,11 @@
 //! offsets from a normal distribution and derives perturbed
 //! [`DeviceModel`]s and per-gate delay multipliers.
 //!
-//! All sampling is driven by a caller-provided [`rand::Rng`], so every
+//! All sampling is driven by a caller-provided [`emc_prng::Rng`], so every
 //! experiment is reproducible from its seed.
 
 use emc_units::Volts;
-use rand::Rng;
+use emc_prng::Rng;
 
 use crate::model::DeviceModel;
 use crate::params::ProcessParams;
@@ -22,7 +22,7 @@ use crate::params::ProcessParams;
 ///
 /// ```
 /// use emc_device::{DeviceModel, VariationModel};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use emc_prng::{Rng, StdRng};
 ///
 /// let var = VariationModel::new(0.02); // σ(Vt) = 20 mV
 /// let mut rng = StdRng::seed_from_u64(7);
@@ -105,8 +105,7 @@ impl VariationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use emc_prng::StdRng;
 
     #[test]
     fn sampling_is_reproducible_from_seed() {

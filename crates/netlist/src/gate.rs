@@ -233,7 +233,13 @@ impl fmt::Display for GateKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use emc_prng::{Rng, StdRng};
+
+    /// Random bit vector with length in `[lo, hi)`.
+    fn bit_vec(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<bool> {
+        let n = rng.gen_range(lo..hi);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
 
     #[test]
     fn two_input_truth_tables() {
@@ -377,35 +383,47 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// De Morgan: NAND(a, b, …) == INV(AND(a, b, …)).
-        #[test]
-        fn de_morgan_nand(bits in proptest::collection::vec(any::<bool>(), 2..8)) {
+    /// De Morgan: NAND(a, b, …) == INV(AND(a, b, …)).
+    #[test]
+    fn de_morgan_nand() {
+        let mut rng = StdRng::seed_from_u64(0xde);
+        for _ in 0..512 {
+            let bits = bit_vec(&mut rng, 2, 8);
             let via_nand = GateKind::Nand.eval(&bits, false);
             let via_and_inv = GateKind::Inv.eval(&[GateKind::And.eval(&bits, false)], false);
-            prop_assert_eq!(via_nand, via_and_inv);
+            assert_eq!(via_nand, via_and_inv, "bits {bits:?}");
         }
+    }
 
-        /// XOR and XNOR are complementary for any width.
-        #[test]
-        fn xor_xnor_complementary(bits in proptest::collection::vec(any::<bool>(), 2..8)) {
-            prop_assert_ne!(
+    /// XOR and XNOR are complementary for any width.
+    #[test]
+    fn xor_xnor_complementary() {
+        let mut rng = StdRng::seed_from_u64(0xd0);
+        for _ in 0..512 {
+            let bits = bit_vec(&mut rng, 2, 8);
+            assert_ne!(
                 GateKind::Xor.eval(&bits, false),
-                GateKind::Xnor.eval(&bits, false)
+                GateKind::Xnor.eval(&bits, false),
+                "bits {bits:?}"
             );
         }
+    }
 
-        /// A C-element never glitches: if inputs are unanimous the output
-        /// follows them, otherwise it equals `current`.
-        #[test]
-        fn c_element_monotonic(bits in proptest::collection::vec(any::<bool>(), 2..6), cur: bool) {
+    /// A C-element never glitches: if inputs are unanimous the output
+    /// follows them, otherwise it equals `current`.
+    #[test]
+    fn c_element_monotonic() {
+        let mut rng = StdRng::seed_from_u64(0xce);
+        for _ in 0..512 {
+            let bits = bit_vec(&mut rng, 2, 6);
+            let cur = rng.gen::<bool>();
             let out = GateKind::CElement.eval(&bits, cur);
             if bits.iter().all(|&b| b) {
-                prop_assert!(out);
+                assert!(out, "bits {bits:?}");
             } else if bits.iter().all(|&b| !b) {
-                prop_assert!(!out);
+                assert!(!out, "bits {bits:?}");
             } else {
-                prop_assert_eq!(out, cur);
+                assert_eq!(out, cur, "bits {bits:?}");
             }
         }
     }

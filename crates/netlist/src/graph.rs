@@ -295,6 +295,12 @@ impl Netlist {
         &self.net_names[net.0]
     }
 
+    /// Looks a net up by its construction name. Linear scan; if several
+    /// nets share a name, the first created wins.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.iter().position(|n| n == name).map(NetId)
+    }
+
     /// The gate driving `net`, if any (inputs and constants drive their own
     /// nets, so in a checked netlist this is always `Some`).
     pub fn driver_of(&self, net: NetId) -> Option<GateId> {

@@ -6,7 +6,7 @@
 //! into a plain `power(t)` signal for the power chain.
 
 use emc_units::{Hertz, Seconds, Watts, Waveform};
-use rand::Rng;
+use emc_prng::Rng;
 
 /// A resonant vibration micro-generator.
 ///
@@ -288,8 +288,7 @@ impl HarvestSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use emc_prng::StdRng;
 
     #[test]
     fn vibration_peaks_at_resonance() {

@@ -99,8 +99,8 @@ mod tests {
     use emc_device::DeviceModel;
     use emc_sim::SupplyKind;
     use emc_units::{Seconds, Waveform};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use emc_prng::StdRng;
+    use emc_prng::Rng;
 
     fn rig() -> (Simulator, Arbiter) {
         let mut nl = Netlist::new();
@@ -180,7 +180,7 @@ mod tests {
         let mut t = sim.now().0;
         let mut want = [false, false];
         for _ in 0..60 {
-            let who = rng.gen_range(0..2);
+            let who = rng.gen_range(0usize..2);
             want[who] = !want[who];
             t += rng.gen_range(0.05e-9..3e-9);
             let net = if who == 0 { arb.request1() } else { arb.request2() };

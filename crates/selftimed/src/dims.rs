@@ -249,8 +249,8 @@ mod tests {
     use emc_device::DeviceModel;
     use emc_sim::SupplyKind;
     use emc_units::Waveform;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use emc_prng::StdRng;
+    use emc_prng::Rng;
 
     fn adder_rig(width: usize, vdd: f64) -> (Simulator, DualRailAdder) {
         let mut nl = Netlist::new();

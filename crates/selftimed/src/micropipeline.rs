@@ -163,8 +163,8 @@ mod tests {
     use emc_device::DeviceModel;
     use emc_sim::SupplyKind;
     use emc_units::Waveform;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use emc_prng::StdRng;
+    use emc_prng::Rng;
 
     fn rig(n: usize, vdd: f64) -> (Simulator, MullerPipeline) {
         let mut nl = Netlist::new();

@@ -324,8 +324,8 @@ mod tests {
     use emc_device::DeviceModel;
     use emc_sim::SupplyKind;
     use emc_units::{Hertz, Waveform};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use emc_prng::StdRng;
+    use emc_prng::Rng;
 
     fn rig(stages: usize, width: usize, vdd: Waveform) -> (Simulator, DualRailPipeline) {
         let mut nl = Netlist::new();

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod delay;
 pub mod domain;
 pub mod simulator;
@@ -66,6 +67,10 @@ pub mod sta;
 pub mod trace;
 pub mod vcd;
 
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, RunContext, RunReport, SimCampaign, SimJob,
+    StopCondition,
+};
 pub use domain::{DomainId, PowerDomain, SupplyKind};
 pub use simulator::{ActivityRecord, FiredEvent, Hazard, RunStats, Simulator};
 pub use sta::{longest_path, StaReport};

@@ -88,6 +88,29 @@ impl Trace {
     pub fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// A 64-bit FNV-1a digest over the full entry sequence (bit pattern
+    /// of the time, net index, value). Two traces digest equal iff they
+    /// recorded the same transitions at the same times in the same
+    /// order, so a digest pins a run's behaviour for golden-trace and
+    /// campaign-determinism tests without storing the trace itself.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for e in &self.entries {
+            eat(&e.time.0.to_bits().to_le_bytes());
+            eat(&(e.net.index() as u64).to_le_bytes());
+            eat(&[e.value as u8]);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

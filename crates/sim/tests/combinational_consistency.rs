@@ -6,8 +6,8 @@
 use emc_device::DeviceModel;
 use emc_netlist::{GateKind, NetId, Netlist};
 use emc_sim::{Simulator, SupplyKind};
+use emc_prng::{Rng, StdRng};
 use emc_units::Waveform;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct RandomDag {
@@ -29,20 +29,20 @@ const KINDS: [GateKind; 8] = [
     GateKind::Majority3,
 ];
 
-fn dag_strategy() -> impl Strategy<Value = RandomDag> {
-    let gate = (0u8..8, proptest::collection::vec(0usize..10_000, 3));
-    (
-        proptest::collection::vec(gate, 1..25),
-        proptest::collection::vec(any::<bool>(), 4),
-        0.2f64..1.0,
-        proptest::collection::vec(0.1f64..10.0, 32),
-    )
-        .prop_map(|(gates, input_values, vdd, delay_scales)| RandomDag {
-            gates,
-            input_values,
-            vdd,
-            delay_scales,
+fn random_dag(rng: &mut StdRng) -> RandomDag {
+    let gates = (0..rng.gen_range(1usize..25))
+        .map(|_| {
+            let kind = rng.gen_range(0u8..8);
+            let picks = (0..3).map(|_| rng.gen_range(0usize..10_000)).collect();
+            (kind, picks)
         })
+        .collect();
+    RandomDag {
+        gates,
+        input_values: (0..4).map(|_| rng.gen::<bool>()).collect(),
+        vdd: rng.gen_range(0.2f64..1.0),
+        delay_scales: (0..32).map(|_| rng.gen_range(0.1f64..10.0)).collect(),
+    }
 }
 
 /// Builds the netlist; returns (netlist, input nets, all gate output nets).
@@ -87,11 +87,11 @@ fn reference_eval(nl: &Netlist, inputs: &[NetId], input_values: &[bool]) -> Vec<
     values
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn simulator_settles_to_boolean_evaluation(dag in dag_strategy()) {
+#[test]
+fn simulator_settles_to_boolean_evaluation() {
+    let mut rng = StdRng::seed_from_u64(0xdac);
+    for case in 0..64 {
+        let dag = random_dag(&mut rng);
         let (nl, inputs, outs) = build(&dag);
         let expected = reference_eval(&nl, &inputs, &dag.input_values);
 
@@ -111,12 +111,12 @@ proptest! {
             }
         }
         let fired = sim.run_to_quiescence(200_000);
-        prop_assert!(fired < 200_000, "did not quiesce");
+        assert!(fired < 200_000, "case {case} did not quiesce");
         for &o in &outs {
-            prop_assert_eq!(
+            assert_eq!(
                 sim.value(o),
                 expected[o.index()],
-                "net {} settled wrong", o
+                "case {case}: net {o} settled wrong"
             );
         }
     }

@@ -6,8 +6,8 @@ use emc_device::DeviceModel;
 use emc_netlist::{GateId, GateKind, NetId, Netlist};
 use emc_sim::{Simulator, SupplyKind};
 use emc_units::{Farads, Hertz, Seconds, Volts, Waveform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use emc_prng::StdRng;
+use emc_prng::Rng;
 
 /// A chain of `n` inverters behind an input; returns (input, chain outputs).
 fn inverter_chain(n: usize) -> (Netlist, NetId, Vec<NetId>) {

@@ -3,7 +3,7 @@
 
 use emc_device::{DeviceModel, ProcessCorner, VariationModel};
 use emc_units::Volts;
-use rand::Rng;
+use emc_prng::Rng;
 
 use crate::cell::CellKind;
 use crate::timing::{Phase, SramTiming};
@@ -174,8 +174,7 @@ impl FailureAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use emc_prng::StdRng;
 
     fn fa() -> FailureAnalysis {
         FailureAnalysis::new(64, 1, CellKind::SixT)

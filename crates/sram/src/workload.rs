@@ -2,7 +2,7 @@
 //! disciplines with realistic access streams under arbitrary supplies.
 
 use emc_units::{Joules, Seconds, Volts, Waveform};
-use rand::Rng;
+use emc_prng::Rng;
 
 use crate::sram::{Sram, TimingDiscipline};
 
@@ -188,8 +188,7 @@ pub fn replay(
 mod tests {
     use super::*;
     use crate::sram::SramConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use emc_prng::StdRng;
 
     fn workload(pattern: AddressPattern, seed: u64) -> MemoryWorkload {
         MemoryWorkload::generate(200, 64, 0.4, pattern, &mut StdRng::seed_from_u64(seed))

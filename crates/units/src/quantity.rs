@@ -483,48 +483,74 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use emc_prng::{Rng, StdRng};
 
-        proptest! {
-            /// Same-unit addition commutes exactly.
-            #[test]
-            fn addition_commutes(a in -1e3f64..1e3, b in -1e3f64..1e3) {
-                prop_assert_eq!(Volts(a) + Volts(b), Volts(b) + Volts(a));
+        const CASES: usize = 512;
+
+        /// Same-unit addition commutes exactly.
+        #[test]
+        fn addition_commutes() {
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..CASES {
+                let a = rng.gen_range(-1e3f64..1e3);
+                let b = rng.gen_range(-1e3f64..1e3);
+                assert_eq!(Volts(a) + Volts(b), Volts(b) + Volts(a));
             }
+        }
 
-            /// The two routes to energy agree: (V·I)·t = (I·t)·V.
-            #[test]
-            fn energy_routes_agree(v in 0.0f64..2.0, i in 0.0f64..1e-3, t in 0.0f64..10.0) {
+        /// The two routes to energy agree: (V·I)·t = (I·t)·V.
+        #[test]
+        fn energy_routes_agree() {
+            let mut rng = StdRng::seed_from_u64(2);
+            for _ in 0..CASES {
+                let v = rng.gen_range(0.0f64..2.0);
+                let i = rng.gen_range(0.0f64..1e-3);
+                let t = rng.gen_range(0.0f64..10.0);
                 let via_power: Joules = (Volts(v) * Amps(i)) * Seconds(t);
                 let via_charge: Joules = (Amps(i) * Seconds(t)) * Volts(v);
                 let tol = via_power.0.abs().max(1e-300) * 1e-12;
-                prop_assert!((via_power.0 - via_charge.0).abs() <= tol);
+                assert!((via_power.0 - via_charge.0).abs() <= tol);
             }
+        }
 
-            /// Division inverts multiplication for cross-unit products.
-            #[test]
-            fn div_inverts_mul(c in 1e-15f64..1e-9, v in 0.01f64..2.0) {
+        /// Division inverts multiplication for cross-unit products.
+        #[test]
+        fn div_inverts_mul() {
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..CASES {
+                let c = rng.gen_range(1e-15f64..1e-9);
+                let v = rng.gen_range(0.01f64..2.0);
                 let q = Farads(c) * Volts(v);
                 let back = q / Farads(c);
-                prop_assert!((back.0 - v).abs() <= v * 1e-12);
+                assert!((back.0 - v).abs() <= v * 1e-12);
             }
+        }
 
-            /// cv2 equals charge times voltage.
-            #[test]
-            fn cv2_consistent(c in 1e-15f64..1e-9, v in 0.0f64..2.0) {
+        /// cv2 equals charge times voltage.
+        #[test]
+        fn cv2_consistent() {
+            let mut rng = StdRng::seed_from_u64(4);
+            for _ in 0..CASES {
+                let c = rng.gen_range(1e-15f64..1e-9);
+                let v = rng.gen_range(0.0f64..2.0);
                 let direct = Volts(v).cv2(Farads(c));
                 let via_q = (Farads(c) * Volts(v)) * Volts(v);
                 let tol = direct.0.abs().max(1e-300) * 1e-12;
-                prop_assert!((direct.0 - via_q.0).abs() <= tol);
+                assert!((direct.0 - via_q.0).abs() <= tol);
             }
+        }
 
-            /// Stored energy is half of cv2, always.
-            #[test]
-            fn stored_energy_half_cv2(c in 1e-15f64..1e-9, v in 0.0f64..2.0) {
+        /// Stored energy is half of cv2, always.
+        #[test]
+        fn stored_energy_half_cv2() {
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..CASES {
+                let c = rng.gen_range(1e-15f64..1e-9);
+                let v = rng.gen_range(0.0f64..2.0);
                 let half = Farads(c).stored_energy(Volts(v));
                 let full = Volts(v).cv2(Farads(c));
                 let tol = full.0.abs().max(1e-300) * 1e-12;
-                prop_assert!((2.0 * half.0 - full.0).abs() <= tol);
+                assert!((2.0 * half.0 - full.0).abs() <= tol);
             }
         }
     }

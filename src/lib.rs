@@ -20,6 +20,7 @@
 //! | [`sram`] | `emc-sram` | the speed-independent SRAM and baselines |
 //! | [`sensors`] | `emc-sensors` | charge-to-digital and reference-free sensing |
 //! | [`petri`] | `emc-petri` | Petri nets with energy tokens |
+//! | [`prng`] | `emc-prng` | vendored splitmix64 / xoshiro256++ |
 //! | [`sched`] | `emc-sched` | schedulers, CTMC analysis, power games |
 //! | [`core`] | `emc-core` | QoS curves, hybrid control, the holistic loop |
 //!
@@ -43,6 +44,7 @@ pub use emc_device as device;
 pub use emc_netlist as netlist;
 pub use emc_petri as petri;
 pub use emc_power as power;
+pub use emc_prng as prng;
 pub use emc_sched as sched;
 pub use emc_sensors as sensors;
 pub use emc_sim as sim;
