@@ -18,7 +18,13 @@ fn bench_token_scheduler(c: &mut Criterion) {
                 4,
                 1.0,
                 2_000,
-                |t| if t % 10 == 0 { Joules(15e-6) } else { Joules(1e-6) },
+                |t| {
+                    if t % 10 == 0 {
+                        Joules(15e-6)
+                    } else {
+                        Joules(1e-6)
+                    }
+                },
             )
         })
     });

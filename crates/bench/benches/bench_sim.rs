@@ -1,9 +1,9 @@
 //! Simulator engine benchmarks: event throughput on free-running
 //! self-timed logic, at constant and AC supplies.
 
+use emc_async::{SelfTimedOscillator, ToggleRippleCounter};
 use emc_bench::harness::{BatchSize, Criterion};
 use emc_bench::{criterion_group, criterion_main};
-use emc_async::{SelfTimedOscillator, ToggleRippleCounter};
 use emc_device::DeviceModel;
 use emc_netlist::Netlist;
 use emc_sim::{Simulator, SupplyKind};

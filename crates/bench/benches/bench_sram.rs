@@ -55,8 +55,8 @@ fn bench_construction(c: &mut Criterion) {
 }
 
 fn bench_workload_replay(c: &mut Criterion) {
-    use emc_sram::{replay, AddressPattern, MemoryWorkload};
     use emc_prng::StdRng;
+    use emc_sram::{replay, AddressPattern, MemoryWorkload};
     let mut g = c.benchmark_group("sram_workload");
     g.sample_size(20);
     let w = MemoryWorkload::generate(

@@ -29,8 +29,7 @@ fn main() {
                 Joules(0.3e-6)
             }
         };
-        let token =
-            EnergyTokenScheduler::run(workload(), Joules(40e-6), 2, 1.0, 4_000, income);
+        let token = EnergyTokenScheduler::run(workload(), Joules(40e-6), 2, 1.0, 4_000, income);
         let greedy = GreedyScheduler::run(workload(), Joules(40e-6), 2, 1.0, 4_000, income);
         s.push(vec![
             burst_every as f64,

@@ -85,7 +85,11 @@ fn main() {
     for bundled in [false, true] {
         let (probe_nl, _) = build(bundled);
         for victim in (0..probe_nl.gate_count()).step_by(stride) {
-            if probe_nl.gate_ref(probe_nl.gate_id(victim)).kind().is_source() {
+            if probe_nl
+                .gate_ref(probe_nl.gate_id(victim))
+                .kind()
+                .is_source()
+            {
                 continue;
             }
             jobs.push(Injection { bundled, victim });
@@ -115,11 +119,12 @@ fn main() {
             fired: sim.total_transitions(),
             hazards: sim.hazards().len() as u64,
         };
-        RunReport::from_sim(&sim, ctx, stats, vec![
-            job.bundled as u8 as f64,
-            job.victim as f64,
-            outcome,
-        ])
+        RunReport::from_sim(
+            &sim,
+            ctx,
+            stats,
+            vec![job.bundled as u8 as f64, job.victim as f64, outcome],
+        )
     });
 
     let mut si = Tally::default();

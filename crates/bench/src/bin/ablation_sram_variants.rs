@@ -37,16 +37,21 @@ fn main() {
     let mut cells = Series::new(
         "ablation_cells",
         "6T vs 8T cells: leakage, area, minimum voltage",
-        &["cell_is_8t", "retention_uW_at_0v5", "area_factor", "min_vdd_mV"],
+        &[
+            "cell_is_8t",
+            "retention_uW_at_0v5",
+            "area_factor",
+            "min_vdd_mV",
+        ],
     );
     for cell in [CellKind::SixT, CellKind::EightT] {
         let sram = Sram::new(SramConfig {
             cell,
             ..SramConfig::paper_1kbit()
         });
-        let p = sram
-            .energy_model()
-            .retention_power(sram.timing(), Volts(0.5), cell.leakage_factor());
+        let p =
+            sram.energy_model()
+                .retention_power(sram.timing(), Volts(0.5), cell.leakage_factor());
         let fa = FailureAnalysis::new(64, 1, cell);
         let min_v = fa
             .min_operating_voltage(&device)
@@ -57,7 +62,9 @@ fn main() {
             cell.area_factor(),
             min_v,
         ]);
-        let _ = sram.energy_model().access_energy(sram.timing(), Op::Read, Volts(0.5));
+        let _ = sram
+            .energy_model()
+            .access_energy(sram.timing(), Op::Read, Volts(0.5));
     }
     cells.emit();
 
@@ -77,7 +84,11 @@ fn main() {
             row.min_vdd.0 * 1e3,
             row.read_latency_0v3 * 1e9
         );
-        corners.push(vec![i as f64, row.min_vdd.0 * 1e3, row.read_latency_0v3 * 1e9]);
+        corners.push(vec![
+            i as f64,
+            row.min_vdd.0 * 1e3,
+            row.read_latency_0v3 * 1e9,
+        ]);
     }
     corners.emit();
 

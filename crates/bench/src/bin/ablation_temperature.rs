@@ -13,12 +13,7 @@ fn main() {
     let mut s = Series::new(
         "ablation_temperature",
         "temperature sweep: sub-threshold speed, SRAM MEP, sensor drift",
-        &[
-            "temp_K",
-            "inv_delay_0v3_ns",
-            "mep_mV",
-            "sensor_drift_mV",
-        ],
+        &["temp_K", "inv_delay_0v3_ns", "mep_mV", "sensor_drift_mV"],
     );
     // The sensor is calibrated once, at room temperature.
     let sensor = ReferenceFreeSensor::new(8);

@@ -1,0 +1,166 @@
+//! `emc-lint` — run the full `emc-verify` rule set over every built-in
+//! circuit plus the known-bad fixtures, as a deterministic parallel
+//! campaign.
+//!
+//! ```text
+//! emc-lint [--smoke] [--threads N] [--seed S] [--json]
+//! ```
+//!
+//! * `--smoke` shrinks the parametric circuits (CI gate);
+//! * `--threads N` changes wall-clock only — the reports and the
+//!   campaign digest are byte-identical for any worker count;
+//! * `--json` emits one JSON object per circuit (a JSON array on
+//!   stdout) and nothing else, for tooling.
+//!
+//! Exit status is non-zero if any speed-independent built-in circuit
+//! reports an error (or an unexpected warning), or if a known-bad
+//! fixture fails to reproduce its golden rule set — so the binary is
+//! its own regression test.
+
+use emc_bench::print_campaign_summary;
+use emc_sim::campaign::CampaignConfig;
+use emc_verify::builtin::{broken_suite, builtin_suite};
+use emc_verify::{verify_suite, Circuit, Report, Verifier};
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        threads: 0,
+        seed: 2011,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--json" => out.json = true,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                out.threads = v.parse().expect("--threads takes an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                out.seed = v.parse().expect("--seed takes a u64");
+            }
+            other => {
+                panic!("unknown flag {other:?}; usage: [--smoke] [--threads N] [--seed S] [--json]")
+            }
+        }
+    }
+    out
+}
+
+/// The golden expectation for one circuit: clean with exactly these
+/// warning rules (built-ins), or exactly this distinct rule set
+/// (fixtures).
+enum Expect {
+    CleanWithWarnings(&'static [&'static str]),
+    ExactRules(&'static [&'static str]),
+}
+
+fn check(report: &Report, expect: &Expect) -> Result<(), String> {
+    match expect {
+        Expect::CleanWithWarnings(warn_rules) => {
+            if !report.is_clean() {
+                return Err(format!(
+                    "{}: expected clean, got {} error(s)",
+                    report.circuit,
+                    report.errors()
+                ));
+            }
+            if !report.exhaustive {
+                return Err(format!("{}: exploration was capped", report.circuit));
+            }
+            let rules = report.distinct_rules();
+            if rules != *warn_rules {
+                return Err(format!(
+                    "{}: expected warnings {warn_rules:?}, got {rules:?}",
+                    report.circuit
+                ));
+            }
+            Ok(())
+        }
+        Expect::ExactRules(expected) => {
+            let rules = report.distinct_rules();
+            if rules != *expected {
+                return Err(format!(
+                    "{}: expected rules {expected:?}, got {rules:?}",
+                    report.circuit
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut circuits: Vec<Circuit<'static>> = Vec::new();
+    let mut expectations: Vec<Expect> = Vec::new();
+    for circuit in builtin_suite(args.smoke) {
+        let warns: &'static [&'static str] = if circuit.name == "bundled" {
+            &["TA001"]
+        } else {
+            &[]
+        };
+        expectations.push(Expect::CleanWithWarnings(warns));
+        circuits.push(circuit);
+    }
+    for (circuit, rules) in broken_suite() {
+        expectations.push(Expect::ExactRules(rules));
+        circuits.push(circuit);
+    }
+
+    let verifier = Verifier::new();
+    let config = CampaignConfig::new(args.seed).threads(args.threads);
+    let (reports, campaign) = verify_suite(&circuits, &verifier, &config);
+
+    if args.json {
+        // Machine output: a JSON array, nothing else (no timings or
+        // thread counts, so the bytes are invocation-invariant).
+        let body: Vec<String> = reports.iter().map(Report::to_json).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        println!("emc-lint: {} circuit(s)", reports.len());
+        for report in &reports {
+            println!(
+                "  {:<16} {:>6} state(s)  {} error(s), {} warning(s), {} note(s){}",
+                report.circuit,
+                report.states,
+                report.errors(),
+                report.warnings(),
+                report.infos(),
+                if report.exhaustive { "" } else { "  [capped]" },
+            );
+            for d in &report.diagnostics {
+                println!("    {d}");
+            }
+        }
+        print_campaign_summary(&campaign);
+    }
+
+    let mut failures = Vec::new();
+    for (report, expect) in reports.iter().zip(&expectations) {
+        if let Err(e) = check(report, expect) {
+            failures.push(e);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("emc-lint: golden self-check FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    if !args.json {
+        println!("emc-lint: OK — all speed-independent circuits clean, all fixtures reproduce");
+    }
+}

@@ -73,11 +73,18 @@ fn main() {
             trough += 1;
         }
     }
-    println!("counted {} settled increments, {corrupt} corrupted", settled.len());
+    println!(
+        "counted {} settled increments, {corrupt} corrupted",
+        settled.len()
+    );
     println!(
         "transitions in crest half-cycles: {crest}, in trough half-cycles: {trough} \
          ({}x concentration)",
-        if trough > 0 { crest / trough.max(1) } else { crest }
+        if trough > 0 {
+            crest / trough.max(1)
+        } else {
+            crest
+        }
     );
     println!("hazards observed: {}", sim.hazards().len());
     println!();

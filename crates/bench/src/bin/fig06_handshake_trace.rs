@@ -19,7 +19,12 @@ fn trace(sram: &Sram, phases: &[Phase], vdd: Volts, id: &str, title: &str) {
     // Two completion-detection settles (bit line + write equality).
     for k in 0..2 {
         let d = sram.timing().phase_latency(Phase::Completion, vdd).0 * 1e9;
-        println!("  {:>18}   {:>9.2}   {:>8.2}", format!("Completion#{k}"), t, t + d);
+        println!(
+            "  {:>18}   {:>9.2}   {:>8.2}",
+            format!("Completion#{k}"),
+            t,
+            t + d
+        );
         s.push(vec![(phases.len() + k) as f64, t, t + d]);
         t += d;
     }

@@ -33,8 +33,20 @@ fn main() {
         "two writes under a rising supply: latency and correctness",
         &["op", "t_start_us", "vdd_V", "latency_us", "correct"],
     );
-    s.push(vec![1.0, 0.0, 0.25, w1.latency.0 * 1e6, w1.correct as u8 as f64]);
-    s.push(vec![2.0, 35.0, 1.0, w2.latency.0 * 1e6, w2.correct as u8 as f64]);
+    s.push(vec![
+        1.0,
+        0.0,
+        0.25,
+        w1.latency.0 * 1e6,
+        w1.correct as u8 as f64,
+    ]);
+    s.push(vec![
+        2.0,
+        35.0,
+        1.0,
+        w2.latency.0 * 1e6,
+        w2.correct as u8 as f64,
+    ]);
     s.emit();
 
     // The sweep behind the figure: one self-contained SRAM per Vdd
@@ -64,7 +76,13 @@ fn main() {
     let sweep = campaign_series(
         "fig07_sweep",
         "SI SRAM write+read latency and energy vs constant Vdd",
-        &["vdd_V", "write_latency_us", "read_latency_us", "energy_pJ", "correct"],
+        &[
+            "vdd_V",
+            "write_latency_us",
+            "read_latency_us",
+            "energy_pJ",
+            "correct",
+        ],
         &report,
     );
     sweep.emit();
@@ -85,10 +103,7 @@ fn main() {
         r1.data.unwrap_or(0),
         r2.data.unwrap_or(0)
     );
-    println!(
-        "latency ratio: {:.0}x",
-        w1.latency.0 / w2.latency.0
-    );
+    println!("latency ratio: {:.0}x", w1.latency.0 / w2.latency.0);
     println!();
     println!("Shape check: exactly the paper's Fig. 7 story — \"the first");
     println!("writing works under low Vdd, it takes long time, while the second");

@@ -17,7 +17,12 @@ fn main() {
     while v <= 1.0 + 1e-9 {
         let w = sram.write_at(Volts(v), 0, 0xFFFF, TimingDiscipline::Completion);
         let r = sram.read_at(Volts(v), 0, TimingDiscipline::Completion);
-        s.push(vec![v, w.energy.0 * 1e12, r.energy.0 * 1e12, w.latency.0 * 1e9]);
+        s.push(vec![
+            v,
+            w.energy.0 * 1e12,
+            r.energy.0 * 1e12,
+            w.latency.0 * 1e9,
+        ]);
         v += 0.05;
     }
     s.emit();
@@ -31,8 +36,14 @@ fn main() {
     );
     println!(
         "anchors: E_write(1.0 V) = {:.2} pJ (paper: 5.8), E_write(0.4 V) = {:.2} pJ (paper: 1.9)",
-        sram.write_at(Volts(1.0), 0, 1, TimingDiscipline::Completion).energy.0 * 1e12,
-        sram.write_at(Volts(0.4), 0, 1, TimingDiscipline::Completion).energy.0 * 1e12,
+        sram.write_at(Volts(1.0), 0, 1, TimingDiscipline::Completion)
+            .energy
+            .0
+            * 1e12,
+        sram.write_at(Volts(0.4), 0, 1, TimingDiscipline::Completion)
+            .energy
+            .0
+            * 1e12,
     );
     println!(
         "minimum energy point: {:.0} mV at {:.2} pJ (paper: 400 mV)",

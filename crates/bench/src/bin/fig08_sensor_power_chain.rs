@@ -55,7 +55,10 @@ fn main() {
         .map(|r| (r.estimate.0 - r.v_store.0).abs())
         .fold(0.0_f64, f64::max);
     let report = lp.chain().report();
-    println!("worst in-range sensing error in the loop: {:.1} mV", worst * 1e3);
+    println!(
+        "worst in-range sensing error in the loop: {:.1} mV",
+        worst * 1e3
+    );
     println!(
         "harvested {:.1} µJ, delivered {:.1} µJ, deficit {:.2} µJ",
         report.harvested.0 * 1e6,

@@ -62,7 +62,10 @@ fn main() {
         late * 1e9,
         late / early
     );
-    println!("hazards: {} (strictly sequential firing)", sim.hazards().len());
+    println!(
+        "hazards: {} (strictly sequential firing)",
+        sim.hazards().len()
+    );
     println!(
         "final code {} from {} total transitions, residual {:.0} mV",
         sim.transition_count(counter.toggles()[0]),

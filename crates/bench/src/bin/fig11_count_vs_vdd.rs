@@ -36,7 +36,13 @@ fn main() {
     let s = campaign_series(
         "fig11",
         "final code vs initial Vdd on Csample (2 pF)",
-        &["vin_V", "code", "transitions", "charge_used_pC", "duration_us"],
+        &[
+            "vin_V",
+            "code",
+            "transitions",
+            "charge_used_pC",
+            "duration_us",
+        ],
         &report,
     );
     s.emit();

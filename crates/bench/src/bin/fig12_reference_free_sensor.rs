@@ -14,7 +14,12 @@ fn main() {
     );
     for (v, code) in sensor.transfer_curve(33) {
         let decoded = sensor.decode(code);
-        s.push(vec![v.0, code as f64, decoded.0, (decoded.0 - v.0).abs() * 1e3]);
+        s.push(vec![
+            v.0,
+            code as f64,
+            decoded.0,
+            (decoded.0 - v.0).abs() * 1e3,
+        ]);
     }
     s.emit();
 

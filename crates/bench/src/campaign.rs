@@ -61,9 +61,9 @@ impl CampaignArgs {
                     let v = args.next().expect("--seed needs a value");
                     out.seed = v.parse().expect("--seed takes a u64");
                 }
-                other => panic!(
-                    "unknown flag {other:?}; usage: [--smoke] [--threads N] [--seed S]"
-                ),
+                other => {
+                    panic!("unknown flag {other:?}; usage: [--smoke] [--threads N] [--seed S]")
+                }
             }
         }
         out
@@ -87,12 +87,7 @@ impl CampaignArgs {
 
 /// Converts an aggregated campaign into a figure series: one row per
 /// run, straight from each run's `values`.
-pub fn campaign_series(
-    id: &str,
-    title: &str,
-    columns: &[&str],
-    report: &CampaignReport,
-) -> Series {
+pub fn campaign_series(id: &str, title: &str, columns: &[&str], report: &CampaignReport) -> Series {
     let mut s = Series::new(id, title, columns);
     for row in report.rows() {
         s.push(row);

@@ -105,11 +105,7 @@ const DEFAULT_SAMPLES: usize = 50;
 
 impl Criterion {
     /// Runs one named benchmark with the default sample count.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_one(name, DEFAULT_SAMPLES, &mut f);
         self
     }
@@ -139,11 +135,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one named benchmark within the group.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_one(&format!("{}/{name}", self.name), self.sample_size, &mut f);
         self
     }

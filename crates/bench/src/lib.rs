@@ -100,8 +100,7 @@ impl Series {
     /// Panics if the directory or file cannot be written (benches run in
     /// a writable workspace by construction).
     pub fn save(&self) -> PathBuf {
-        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("../../target/figures");
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
         fs::create_dir_all(&dir).expect("create target/figures");
         let path = dir.join(format!("{}.json", self.id));
         fs::write(&path, self.to_json()).expect("write series JSON");

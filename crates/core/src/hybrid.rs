@@ -59,7 +59,9 @@ impl HybridController {
     /// decision uses the *measured* voltage, quantisation error and all)
     /// and picks the style.
     pub fn choose(&self, actual_vdd: Volts) -> DesignStyle {
-        let sensed = self.sensor.measure_and_decode(clamp_to_sensor_range(actual_vdd));
+        let sensed = self
+            .sensor
+            .measure_and_decode(clamp_to_sensor_range(actual_vdd));
         if sensed >= self.threshold {
             DesignStyle::BundledData
         } else {

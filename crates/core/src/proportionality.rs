@@ -62,7 +62,9 @@ impl ActivityCurve {
         // E = C·V²/2 ⇒ the voltage this quantum charges the cap to; the
         // sample switch clamps at 1.2 V (overvoltage protection), so
         // quanta beyond the capacitor's rating are partially discarded.
-        let v = (2.0 * energy.0 / self.converter.c_sample().0).sqrt().min(1.2);
+        let v = (2.0 * energy.0 / self.converter.c_sample().0)
+            .sqrt()
+            .min(1.2);
         self.converter.convert(Volts(v)).code
     }
 

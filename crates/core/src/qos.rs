@@ -3,10 +3,10 @@
 use emc_async::{BundledPipeline, DualRailPipeline};
 use emc_device::{DeviceModel, VariationModel};
 use emc_netlist::Netlist;
+use emc_prng::StdRng;
 use emc_sim::campaign::{run_campaign, CampaignConfig, RunReport};
 use emc_sim::{Simulator, SupplyKind};
 use emc_units::{Joules, Seconds, Volts, Watts, Waveform};
-use emc_prng::StdRng;
 
 /// The two design styles the paper contrasts in §II-A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,11 +105,7 @@ pub fn measure_pipeline_qos(style: DesignStyle, vdd: Volts, seed: u64) -> QosPoi
     };
 
     let received = &outcome.received;
-    let correct = received
-        .iter()
-        .zip(&words)
-        .filter(|(a, b)| a == b)
-        .count();
+    let correct = received.iter().zip(&words).filter(|(a, b)| a == b).count();
     let correct_fraction = if outcome.completed && !received.is_empty() {
         correct as f64 / words.len() as f64
     } else {
@@ -252,7 +248,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(DesignStyle::SpeedIndependent.to_string(), "speed-independent");
+        assert_eq!(
+            DesignStyle::SpeedIndependent.to_string(),
+            "speed-independent"
+        );
         assert_eq!(DesignStyle::BundledData.to_string(), "bundled-data");
     }
 }

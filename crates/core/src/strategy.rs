@@ -70,7 +70,12 @@ impl StrategyReport {
 /// # Panics
 ///
 /// Panics if `income` is negative or `duration`/`dt` non-positive.
-pub fn simulate(strategy: SupplyStrategy, income: Watts, duration: Seconds, dt: Seconds) -> StrategyReport {
+pub fn simulate(
+    strategy: SupplyStrategy,
+    income: Watts,
+    duration: Seconds,
+    dt: Seconds,
+) -> StrategyReport {
     assert!(income.0 >= 0.0, "negative harvest power");
     assert!(duration.0 > 0.0 && dt.0 > 0.0, "bad timing");
     let mut sram = Sram::new(SramConfig::paper_1kbit());
@@ -102,11 +107,15 @@ pub fn simulate(strategy: SupplyStrategy, income: Watts, duration: Seconds, dt: 
                 // Burst: run ops while banked energy covers their
                 // converter-side cost. The bundled design is the cheap
                 // one at nominal (0.85× of the SI numbers).
-                let e_op = sram
-                    .write_at(v_run, addr % 64, 0xA5A5, TimingDiscipline::bundled_nominal())
+                let e_op =
+                    sram.write_at(
+                        v_run,
+                        addr % 64,
+                        0xA5A5,
+                        TimingDiscipline::bundled_nominal(),
+                    )
                     .energy
-                    .0
-                    / converter_efficiency;
+                    .0 / converter_efficiency;
                 while stored > e_op && e_op > 0.0 {
                     stored -= e_op;
                     report.ops += 1;
@@ -209,14 +218,29 @@ mod tests {
 
     #[test]
     fn mean_vdd_reflects_power_density() {
-        let low = simulate(SupplyStrategy::VariableVdd, Watts(2e-6), Seconds(0.5), Seconds(1e-3));
-        let high = simulate(SupplyStrategy::VariableVdd, Watts(5e-3), Seconds(0.5), Seconds(1e-3));
+        let low = simulate(
+            SupplyStrategy::VariableVdd,
+            Watts(2e-6),
+            Seconds(0.5),
+            Seconds(1e-3),
+        );
+        let high = simulate(
+            SupplyStrategy::VariableVdd,
+            Watts(5e-3),
+            Seconds(0.5),
+            Seconds(1e-3),
+        );
         assert!(high.mean_vdd > low.mean_vdd);
     }
 
     #[test]
     #[should_panic(expected = "bad timing")]
     fn zero_duration_panics() {
-        let _ = simulate(SupplyStrategy::VariableVdd, Watts(1e-6), Seconds(0.0), Seconds(1e-3));
+        let _ = simulate(
+            SupplyStrategy::VariableVdd,
+            Watts(1e-6),
+            Seconds(0.0),
+            Seconds(1e-3),
+        );
     }
 }

@@ -269,7 +269,11 @@ mod tests {
     #[test]
     fn degenerate_anchors_rejected() {
         let m = DeviceModel::umc90();
-        let e = SramLogicCalibration::solve_with_anchors(m.clone(), (Volts(1.0), 50.0), (Volts(1.0), 60.0));
+        let e = SramLogicCalibration::solve_with_anchors(
+            m.clone(),
+            (Volts(1.0), 50.0),
+            (Volts(1.0), 60.0),
+        );
         assert_eq!(e.unwrap_err(), SolveCalibrationError::DegenerateAnchors);
         let e = SramLogicCalibration::solve_with_anchors(m, (Volts(1.0), 0.0), (Volts(0.2), 60.0));
         assert_eq!(e.unwrap_err(), SolveCalibrationError::DegenerateAnchors);
@@ -279,7 +283,11 @@ mod tests {
     fn impossible_growth_rejected() {
         let m = DeviceModel::umc90();
         // Ratio *decreasing* towards low Vdd is unphysical for this model.
-        let e = SramLogicCalibration::solve_with_anchors(m.clone(), (Volts(1.0), 50.0), (Volts(0.19), 10.0));
+        let e = SramLogicCalibration::solve_with_anchors(
+            m.clone(),
+            (Volts(1.0), 50.0),
+            (Volts(0.19), 10.0),
+        );
         assert!(matches!(e, Err(SolveCalibrationError::OutOfRange { .. })));
         // Growth too large for any ΔVt ≤ 0.3 V.
         let e = SramLogicCalibration::solve_with_anchors(m, (Volts(1.0), 1.0), (Volts(0.19), 1e9));
@@ -289,8 +297,12 @@ mod tests {
     #[test]
     fn anchor_order_does_not_matter() {
         let m = DeviceModel::umc90();
-        let a = SramLogicCalibration::solve_with_anchors(m.clone(), ANCHOR_NOMINAL, ANCHOR_SUBTHRESHOLD)
-            .unwrap();
+        let a = SramLogicCalibration::solve_with_anchors(
+            m.clone(),
+            ANCHOR_NOMINAL,
+            ANCHOR_SUBTHRESHOLD,
+        )
+        .unwrap();
         let b = SramLogicCalibration::solve_with_anchors(m, ANCHOR_SUBTHRESHOLD, ANCHOR_NOMINAL)
             .unwrap();
         assert!((a.delta_vt().0 - b.delta_vt().0).abs() < 1e-12);
@@ -303,7 +315,9 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("9"));
-        assert!(!SolveCalibrationError::DegenerateAnchors.to_string().is_empty());
+        assert!(!SolveCalibrationError::DegenerateAnchors
+            .to_string()
+            .is_empty());
     }
 
     /// The solved curve interpolates monotonically for arbitrary

@@ -222,13 +222,19 @@ mod tests {
         let i2 = d.on_current(Volts(1.7)).0;
         let expect = ((1.7_f64 - 0.35) / (1.2 - 0.35)).powi(2);
         let got = i2 / i1;
-        assert!((got / expect - 1.0).abs() < 0.08, "got {got} expect {expect}");
+        assert!(
+            (got / expect - 1.0).abs() < 0.08,
+            "got {got} expect {expect}"
+        );
     }
 
     #[test]
     fn delay_below_floor_is_infinite() {
         let d = dev();
-        assert!(d.gate_delay(Volts(0.05), Farads(1e-15), 1.0).0.is_infinite());
+        assert!(d
+            .gate_delay(Volts(0.05), Farads(1e-15), 1.0)
+            .0
+            .is_infinite());
         assert!(!d.operational(Volts(0.05)));
         assert!(d.operational(Volts(0.2)));
     }

@@ -10,8 +10,8 @@
 //! All sampling is driven by a caller-provided [`emc_prng::Rng`], so every
 //! experiment is reproducible from its seed.
 
-use emc_units::Volts;
 use emc_prng::Rng;
+use emc_units::Volts;
 
 use crate::model::DeviceModel;
 use crate::params::ProcessParams;
@@ -137,7 +137,9 @@ mod tests {
         assert_eq!(var.sample_vt_offset(&mut rng), Volts(0.0));
         let m = var.perturbed_model(&DeviceModel::umc90(), &mut rng);
         assert_eq!(m.params().vt, DeviceModel::umc90().params().vt);
-        assert!((var.delay_multiplier(&DeviceModel::umc90(), Volts(0.3), &mut rng) - 1.0).abs() < 1e-12);
+        assert!(
+            (var.delay_multiplier(&DeviceModel::umc90(), Volts(0.3), &mut rng) - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Structured diagnostics: the shared currency of the netlist's own
+//! well-formedness checks and the `emc-verify` static-analysis pass.
+//!
+//! A [`Diagnostic`] names a **rule** (a stable upper-case identifier such
+//! as `NET001`), a [`Severity`], a human-readable message, and optionally
+//! the gate and/or net the finding anchors to. Rule identifiers are part
+//! of the tool contract: CI greps for them and golden tests pin them, so
+//! they are never renamed, only retired.
+
+use core::fmt;
+
+use crate::graph::{GateId, NetId};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, never a gate failure.
+    Info,
+    /// Suspicious but possibly intentional (e.g. an edge-triggered
+    /// primitive inside a nominally speed-independent design).
+    Warning,
+    /// A genuine defect: the circuit violates a structural invariant or
+    /// the speed-independent model.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of a static check, with a stable rule id and anchors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `NET001`. See the rule catalogue in
+    /// `README.md` §Verification.
+    pub rule: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human-readable description of this particular finding.
+    pub message: String,
+    /// The gate the finding anchors to, if any.
+    pub gate: Option<GateId>,
+    /// The net the finding anchors to, if any.
+    pub net: Option<NetId>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no gate/net anchor.
+    pub fn new(rule: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            severity,
+            message: message.into(),
+            gate: None,
+            net: None,
+        }
+    }
+
+    /// Anchors the diagnostic to a gate (builder style).
+    pub fn at_gate(mut self, gate: GateId) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Anchors the diagnostic to a net (builder style).
+    pub fn at_net(mut self, net: NetId) -> Self {
+        self.net = Some(net);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.rule, self.message)?;
+        if let Some(g) = self.gate {
+            write!(f, " (gate {g})")?;
+        }
+        if let Some(n) = self.net {
+            write!(f, " (net {n})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Netlist};
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_carries_anchors() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Inv, &[a], "y");
+        let d = Diagnostic::new("NET001", Severity::Error, "net y has no fanout")
+            .at_net(y)
+            .at_gate(n.driver_of(y).unwrap());
+        let s = d.to_string();
+        assert!(s.contains("error [NET001]"), "{s}");
+        assert!(s.contains("gate g1"), "{s}");
+        assert!(s.contains("net n1"), "{s}");
+    }
+}

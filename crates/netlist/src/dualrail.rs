@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn completion_detector_tree_shape() {
         let mut n = Netlist::new();
-        let bits: Vec<DualRail> = (0..4).map(|i| DualRail::input(&mut n, &format!("d{i}"))).collect();
+        let bits: Vec<DualRail> = (0..4)
+            .map(|i| DualRail::input(&mut n, &format!("d{i}")))
+            .collect();
         let done = completion_detector(&mut n, &bits, "cd");
         n.mark_output(done);
         assert!(n.check().is_ok());
@@ -152,13 +154,18 @@ mod tests {
         // 4 ORs (validity) + 3 C-elements (binary tree over 4 leaves).
         assert_eq!(h.get("OR"), Some(&4));
         assert_eq!(h.get("C"), Some(&3));
-        assert_eq!(n.gate_ref(n.driver_of(done).unwrap()).kind(), GateKind::CElement);
+        assert_eq!(
+            n.gate_ref(n.driver_of(done).unwrap()).kind(),
+            GateKind::CElement
+        );
     }
 
     #[test]
     fn completion_detector_odd_width() {
         let mut n = Netlist::new();
-        let bits: Vec<DualRail> = (0..5).map(|i| DualRail::input(&mut n, &format!("d{i}"))).collect();
+        let bits: Vec<DualRail> = (0..5)
+            .map(|i| DualRail::input(&mut n, &format!("d{i}")))
+            .collect();
         let done = completion_detector(&mut n, &bits, "cd");
         n.mark_output(done);
         assert!(n.check().is_ok());

@@ -73,7 +73,11 @@ pub fn to_verilog(netlist: &Netlist, name: &str) -> String {
             GateKind::Xor => format!("  xor {inst} ({y}, {});", ins.join(", ")),
             GateKind::Xnor => format!("  xnor {inst} ({y}, {});", ins.join(", ")),
             GateKind::CElement => {
-                format!("  EMC_CELEM #({}) {inst} ({y}, {});", ins.len(), ins.join(", "))
+                format!(
+                    "  EMC_CELEM #({}) {inst} ({y}, {});",
+                    ins.len(),
+                    ins.join(", ")
+                )
             }
             GateKind::Majority3 => format!("  EMC_MAJ3 {inst} ({y}, {});", ins.join(", ")),
             GateKind::SrLatch => format!("  EMC_SR {inst} ({y}, {});", ins.join(", ")),

@@ -275,7 +275,7 @@ mod tests {
         assert!(!c.eval(&[false, false], true)); // all 0 → fall
         assert!(c.eval(&[true, false], true)); // hold 1
         assert!(!c.eval(&[true, false], false)); // hold 0
-        // Wide C-element.
+                                                 // Wide C-element.
         assert!(c.eval(&[true, true, true, true], false));
         assert!(c.eval(&[true, true, false, true], true));
     }

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::diag::{Diagnostic, Severity};
 use crate::gate::GateKind;
 
 /// Identifier of a net (a wire). Created by the [`Netlist`] builder
@@ -86,6 +87,18 @@ pub enum NetlistError {
         /// The undriven-fanout net.
         net: NetId,
     },
+    /// More than one gate claims the same output net (only possible
+    /// through [`Netlist::rewire_output`] surgery — a modelled short).
+    MultiplyDrivenNet {
+        /// The contested net.
+        net: NetId,
+    },
+    /// A net has consumers but no driving gate (the abandoned output of
+    /// a rewired gate).
+    UndrivenNet {
+        /// The driverless net.
+        net: NetId,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -96,6 +109,12 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::FloatingNet { net } => {
                 write!(f, "net {net} has no fanout and is not an output")
+            }
+            NetlistError::MultiplyDrivenNet { net } => {
+                write!(f, "net {net} is driven by more than one gate")
+            }
+            NetlistError::UndrivenNet { net } => {
+                write!(f, "net {net} has consumers but no driver")
             }
         }
     }
@@ -155,7 +174,11 @@ impl Netlist {
 
     /// Adds a constant-0 or constant-1 source and returns its net.
     pub fn constant(&mut self, value: bool, name: &str) -> NetId {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.add_gate(kind, &[], 1.0, name)
     }
 
@@ -192,7 +215,10 @@ impl Netlist {
             "{kind} expects between {lo} and {hi} inputs, got {} (gate '{name}')",
             inputs.len()
         );
-        assert!(drive > 0.0, "drive strength must be positive (gate '{name}')");
+        assert!(
+            drive > 0.0,
+            "drive strength must be positive (gate '{name}')"
+        );
         for &i in inputs {
             assert!(
                 i.0 < self.net_names.len(),
@@ -330,22 +356,170 @@ impl Netlist {
         h
     }
 
-    /// Validates the netlist structure.
+    /// Re-points `gate`'s output to `net` — netlist **surgery**, the
+    /// escape hatch for modelling wiring faults (shorted outputs,
+    /// abandoned nets) that the builder API deliberately cannot express.
+    ///
+    /// After the call `net` may be **multiply driven** (its original
+    /// driver keeps priority for simulation) and the gate's former output
+    /// net is left **undriven**; [`Netlist::validate`] reports both as
+    /// `NET002` / `NET004` diagnostics. Intended for constructing
+    /// known-bad verifier fixtures, not for ordinary circuit building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is foreign or `gate` is a source gate (inputs
+    /// and constants own their nets).
+    pub fn rewire_output(&mut self, gate: GateId, net: NetId) {
+        assert!(gate.0 < self.gates.len(), "foreign gate id");
+        assert!(net.0 < self.net_names.len(), "foreign net id");
+        assert!(
+            !self.gates[gate.0].kind.is_source(),
+            "cannot rewire a source gate's output"
+        );
+        let old = self.gates[gate.0].output;
+        if old == net {
+            return;
+        }
+        self.gates[gate.0].output = net;
+        if self.net_driver[old.0] == Some(gate) {
+            self.net_driver[old.0] = None;
+        }
+        if self.net_driver[net.0].is_none() {
+            self.net_driver[net.0] = Some(gate);
+        }
+    }
+
+    /// Validates the netlist structure, returning **all** findings as
+    /// structured diagnostics instead of failing on the first:
+    ///
+    /// * `NET001` (error) — a non-output net with no fanout;
+    /// * `NET002` (error) — a net driven by more than one gate;
+    /// * `NET003` (error) — a combinational loop with no state-holding
+    ///   element to break it;
+    /// * `NET004` (error) — a net with consumers but no driver;
+    /// * `NET005` (error) — a gate whose input count violates its kind's
+    ///   arity (defensive: the builder enforces arity, so this indicates
+    ///   internal corruption).
+    ///
+    /// An empty vector means the netlist is well-formed. This is the
+    /// machine-readable face of [`Netlist::check`], and what the
+    /// `emc-verify` lint pass consumes.
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        // Driver census: by construction each gate owns its output net,
+        // but `rewire_output` can short two outputs together or abandon
+        // a net entirely.
+        let mut drivers: Vec<u32> = vec![0; self.net_names.len()];
+        for g in &self.gates {
+            drivers[g.output.0] += 1;
+        }
+        for net in self.iter_nets() {
+            if self.fanout[net.0].is_empty() && !self.outputs.contains(&net) {
+                out.push(
+                    Diagnostic::new(
+                        "NET001",
+                        Severity::Error,
+                        format!(
+                            "net {net} ('{}') has no fanout and is not a circuit output",
+                            self.net_names[net.0]
+                        ),
+                    )
+                    .at_net(net),
+                );
+            }
+            if drivers[net.0] > 1 {
+                out.push(
+                    Diagnostic::new(
+                        "NET002",
+                        Severity::Error,
+                        format!(
+                            "net {net} ('{}') is driven by {} gates (shorted outputs)",
+                            self.net_names[net.0], drivers[net.0]
+                        ),
+                    )
+                    .at_net(net),
+                );
+            }
+            if drivers[net.0] == 0 && !self.fanout[net.0].is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        "NET004",
+                        Severity::Error,
+                        format!(
+                            "net {net} ('{}') has consumers but no driving gate",
+                            self.net_names[net.0]
+                        ),
+                    )
+                    .at_net(net),
+                );
+            }
+        }
+        if let Some(witness) = self.find_combinational_loop() {
+            out.push(
+                Diagnostic::new(
+                    "NET003",
+                    Severity::Error,
+                    format!(
+                        "combinational loop through net {witness} ('{}') with no \
+                         state-holding element",
+                        self.net_names[witness.0]
+                    ),
+                )
+                .at_net(witness),
+            );
+        }
+        for (id, g) in self.iter_gates() {
+            let (lo, hi) = g.kind.arity();
+            if g.inputs.len() < lo || g.inputs.len() > hi {
+                out.push(
+                    Diagnostic::new(
+                        "NET005",
+                        Severity::Error,
+                        format!(
+                            "gate {id} ({}) has {} inputs, outside its arity {lo}..={hi}",
+                            g.kind,
+                            g.inputs.len()
+                        ),
+                    )
+                    .at_gate(id)
+                    .at_net(g.output),
+                );
+            }
+        }
+        out
+    }
+
+    /// Validates the netlist structure, failing on the first finding.
     ///
     /// # Errors
     ///
+    /// * [`NetlistError::FloatingNet`] if a non-output net has no fanout;
+    /// * [`NetlistError::MultiplyDrivenNet`] / [`NetlistError::UndrivenNet`]
+    ///   after [`Netlist::rewire_output`] surgery;
     /// * [`NetlistError::CombinationalLoop`] if a cycle exists that passes
-    ///   through combinational gates only;
-    /// * [`NetlistError::FloatingNet`] if a non-output net has no fanout.
+    ///   through combinational gates only.
+    ///
+    /// [`Netlist::validate`] returns the same findings as structured
+    /// diagnostics, all of them at once.
     pub fn check(&self) -> Result<(), NetlistError> {
-        // Floating nets.
-        for net in self.iter_nets() {
-            if self.fanout[net.0].is_empty() && !self.outputs.contains(&net) {
-                return Err(NetlistError::FloatingNet { net });
-            }
+        if let Some(d) = self.validate().into_iter().next() {
+            let net = d.net.expect("netlist diagnostics anchor to a net");
+            return Err(match d.rule {
+                "NET001" => NetlistError::FloatingNet { net },
+                "NET002" => NetlistError::MultiplyDrivenNet { net },
+                "NET003" => NetlistError::CombinationalLoop { witness: net },
+                "NET004" => NetlistError::UndrivenNet { net },
+                other => unreachable!("unknown netlist rule {other}"),
+            });
         }
-        // Combinational loops: DFS over gates, not entering state-holding
-        // or source gates (they legitimately close feedback).
+        Ok(())
+    }
+
+    /// First combinational loop found, as a witness net: DFS over gates,
+    /// not entering state-holding or source gates (they legitimately
+    /// close feedback).
+    fn find_combinational_loop(&self) -> Option<NetId> {
         #[derive(Clone, Copy, PartialEq)]
         enum Mark {
             White,
@@ -376,9 +550,7 @@ impl Netlist {
                         }
                         match marks[p] {
                             Mark::Grey => {
-                                return Err(NetlistError::CombinationalLoop {
-                                    witness: self.gates[p].output,
-                                });
+                                return Some(self.gates[p].output);
                             }
                             Mark::White => {
                                 marks[p] = Mark::Grey;
@@ -393,7 +565,7 @@ impl Netlist {
                 }
             }
         }
-        Ok(())
+        None
     }
 }
 
@@ -538,6 +710,65 @@ mod tests {
         let a = n.input("a");
         assert_eq!(a.to_string(), "n0");
         assert_eq!(n.driver_of(a).unwrap().to_string(), "g0");
+    }
+
+    #[test]
+    fn validate_reports_all_findings_at_once() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let _floating = n.gate(GateKind::Inv, &[a], "floating");
+        let y = n.gate(GateKind::Nand, &[a, a], "y");
+        let z = n.gate(GateKind::Inv, &[y], "z");
+        n.connect_feedback(y, z);
+        n.mark_output(z);
+        let diags = n.validate();
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"NET001"), "{rules:?}");
+        assert!(rules.contains(&"NET003"), "{rules:?}");
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+        assert!(diags.iter().all(|d| d.net.is_some()));
+    }
+
+    #[test]
+    fn validate_is_empty_on_well_formed_netlist() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.gate(GateKind::CElement, &[a, b], "y");
+        n.mark_output(y);
+        assert!(n.validate().is_empty());
+    }
+
+    #[test]
+    fn rewire_output_models_short_and_abandoned_net() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Inv, &[a], "y");
+        let z = n.gate(GateKind::Buf, &[a], "z");
+        let sink = n.gate(GateKind::And, &[y, z], "sink");
+        n.mark_output(sink);
+        assert!(n.check().is_ok());
+        // Short z's driver onto y: y becomes multiply driven, z undriven.
+        n.rewire_output(n.driver_of(z).unwrap(), y);
+        let rules: Vec<&str> = n.validate().iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"NET002"), "{rules:?}");
+        assert!(rules.contains(&"NET004"), "{rules:?}");
+        // check() surfaces the first finding as a typed error.
+        assert!(matches!(
+            n.check(),
+            Err(NetlistError::MultiplyDrivenNet { net }) if net == y
+        ));
+        // The original driver keeps the net for simulation purposes.
+        assert_eq!(n.driver_of(y), Some(n.gate_id(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "source gate")]
+    fn rewire_output_rejects_source_gates() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Inv, &[a], "y");
+        n.rewire_output(n.driver_of(a).unwrap(), y);
     }
 
     #[test]

@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod dualrail;
 pub mod export;
 pub mod gate;
 pub mod graph;
 
+pub use diag::{Diagnostic, Severity};
 pub use dualrail::{completion_detector, DualRail, DualRailValue};
 pub use export::{to_dot, to_verilog};
 pub use gate::GateKind;

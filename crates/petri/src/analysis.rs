@@ -14,27 +14,39 @@ pub fn deadlocked(net: &PetriNet, budget: Joules) -> bool {
 }
 
 /// Explores markings reachable from the net's current marking assuming
-/// unlimited energy, visiting at most `cap` markings (breadth-first).
+/// unlimited energy, breadth-first.
 ///
 /// Returns the set of visited markings (including the initial one) and
 /// whether exploration was exhaustive (`true`) or hit the cap (`false`).
+///
+/// The bound is **exact**: the returned set never holds more than `cap`
+/// markings. A newly discovered marking that would be the `cap + 1`-th is
+/// not recorded; exploration stops there and reports non-exhaustive. (An
+/// earlier version checked the cap only after popping a frontier node, so
+/// the set could overshoot `cap` by the frontier's whole branching
+/// factor.) With `cap == 0` nothing is explored and the result is
+/// `(∅, false)`.
 pub fn reachable_markings(net: &PetriNet, cap: usize) -> (HashSet<Marking>, bool) {
     let mut scratch = net.clone();
     let initial = scratch.marking();
     let mut seen: HashSet<Marking> = HashSet::new();
     let mut queue: VecDeque<Marking> = VecDeque::new();
+    if cap == 0 {
+        return (seen, false);
+    }
     seen.insert(initial.clone());
     queue.push_back(initial);
     while let Some(m) = queue.pop_front() {
-        if seen.len() >= cap {
-            return (seen, false);
-        }
         for t in scratch.transition_ids().collect::<Vec<_>>() {
             scratch.set_marking(&m);
             let mut infinite = Joules(f64::INFINITY);
             if scratch.fire(t, &mut infinite).is_ok() {
                 let next = scratch.marking();
-                if seen.insert(next.clone()) {
+                if !seen.contains(&next) {
+                    if seen.len() >= cap {
+                        return (seen, false);
+                    }
+                    seen.insert(next.clone());
                     queue.push_back(next);
                 }
             }
@@ -83,6 +95,36 @@ mod tests {
     }
 
     #[test]
+    fn cap_bound_is_exact() {
+        // The unbounded source net from `cap_stops_unbounded_nets`: the
+        // reported set must hold exactly `cap` markings, never more.
+        let mut n = PetriNet::new();
+        let p = n.add_place("p", 0);
+        let t = n.add_transition("src");
+        n.add_output_arc(t, p, 1);
+        for cap in [1, 2, 17, 50] {
+            let (markings, exhaustive) = reachable_markings(&n, cap);
+            assert!(!exhaustive, "cap {cap}");
+            assert_eq!(markings.len(), cap, "cap {cap} overshot");
+        }
+        // Zero cap: nothing visited, trivially non-exhaustive.
+        let (markings, exhaustive) = reachable_markings(&n, 0);
+        assert!(markings.is_empty());
+        assert!(!exhaustive);
+        // A finite net below the cap is unaffected.
+        let ring = ring(3);
+        let (markings, exhaustive) = reachable_markings(&ring, 5);
+        assert!(exhaustive);
+        assert_eq!(markings.len(), 4);
+        // A finite net explored with cap == its state count is exhaustive
+        // only if no further marking was attempted; here the cap equals
+        // the state count, so the search completes exactly at the bound.
+        let (markings, exhaustive) = reachable_markings(&ring, 4);
+        assert!(exhaustive);
+        assert_eq!(markings.len(), 4);
+    }
+
+    #[test]
     fn logical_vs_energy_deadlock() {
         let mut n = ring(1);
         // Give every transition a cost.
@@ -91,7 +133,10 @@ mod tests {
         }
         assert!(deadlocked(&n, Joules(0.5)), "starved");
         assert!(!deadlocked(&n, Joules(2.0)), "affordable");
-        assert!(!deadlocked(&n, Joules(f64::INFINITY)), "not a logical deadlock");
+        assert!(
+            !deadlocked(&n, Joules(f64::INFINITY)),
+            "not a logical deadlock"
+        );
     }
 
     #[test]

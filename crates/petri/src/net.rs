@@ -227,11 +227,19 @@ impl PetriNet {
         for (i, t) in self.transitions.iter().enumerate() {
             let _ = writeln!(out, "  t{i} [shape=box label=\"{}\"];", t.name);
             for &(p, w) in &t.inputs {
-                let lbl = if w > 1 { format!(" [label={w}]") } else { String::new() };
+                let lbl = if w > 1 {
+                    format!(" [label={w}]")
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(out, "  p{} -> t{i}{lbl};", p.0);
             }
             for &(p, w) in &t.outputs {
-                let lbl = if w > 1 { format!(" [label={w}]") } else { String::new() };
+                let lbl = if w > 1 {
+                    format!(" [label={w}]")
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(out, "  t{i} -> p{}{lbl};", p.0);
             }
         }

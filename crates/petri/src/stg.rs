@@ -157,7 +157,11 @@ impl Stg {
     /// `a → b` with an implicit place).
     pub fn arc(&mut self, a: TransitionId, b: TransitionId) {
         let p = self.net.add_place(
-            &format!("{}->{}", self.net.transition_name(a), self.net.transition_name(b)),
+            &format!(
+                "{}->{}",
+                self.net.transition_name(a),
+                self.net.transition_name(b)
+            ),
             0,
         );
         self.net.add_output_arc(a, p, 1);
@@ -167,7 +171,11 @@ impl Stg {
     /// As [`Stg::arc`] with an initial token — closes a cycle.
     pub fn arc_with_token(&mut self, a: TransitionId, b: TransitionId) {
         let p = self.net.add_place(
-            &format!("{}=>{}", self.net.transition_name(a), self.net.transition_name(b)),
+            &format!(
+                "{}=>{}",
+                self.net.transition_name(a),
+                self.net.transition_name(b)
+            ),
             1,
         );
         self.net.add_output_arc(a, p, 1);
@@ -194,11 +202,17 @@ impl Stg {
         &self.signal_names[s.0]
     }
 
-    fn fire_label(
-        &self,
-        levels: &mut [bool],
-        t: TransitionId,
-    ) -> Result<(), StgError> {
+    /// The level `s` was declared with (the level at the initial marking).
+    pub fn initial_level(&self, s: SignalId) -> bool {
+        self.initial_levels[s.0]
+    }
+
+    /// `true` if `s` was declared environment-controlled.
+    pub fn is_input(&self, s: SignalId) -> bool {
+        self.is_input[s.0]
+    }
+
+    fn fire_label(&self, levels: &mut [bool], t: TransitionId) -> Result<(), StgError> {
         let (s, pol) = self.labels[t.index()];
         let expected_level = matches!(pol, Polarity::Minus);
         if levels[s.0] != expected_level {
@@ -236,7 +250,9 @@ impl Stg {
             for &t in &enabled {
                 scratch.set_marking(&marking);
                 let mut budget = infinite;
-                scratch.fire(t, &mut budget).expect("enabled transition fires");
+                scratch
+                    .fire(t, &mut budget)
+                    .expect("enabled transition fires");
                 let next_marking = scratch.marking();
                 let mut next_levels = levels.clone();
                 self.fire_label(&mut next_levels, t)?;
@@ -295,7 +311,9 @@ impl Stg {
                 }
                 scratch.set_marking(marking);
                 let mut budget = infinite;
-                scratch.fire(t, &mut budget).expect("enabled transition fires");
+                scratch
+                    .fire(t, &mut budget)
+                    .expect("enabled transition fires");
                 let next = scratch.marking();
                 if go(stg, scratch, &next, &word[1..]) {
                     return true;
@@ -384,7 +402,10 @@ mod tests {
         // Violations are rejected.
         assert!(!stg.accepts(&[(ack, Plus)]), "ack before req");
         assert!(!stg.accepts(&[(req, Plus), (req, Minus)]), "withdrawn req");
-        assert!(!stg.accepts(&[(req, Plus), (ack, Plus), (ack, Minus)]), "early ack drop");
+        assert!(
+            !stg.accepts(&[(req, Plus), (ack, Plus), (ack, Minus)]),
+            "early ack drop"
+        );
     }
 
     #[test]

@@ -58,7 +58,13 @@ impl TaskGraph {
     ///
     /// Panics if a dependency id is not yet defined, the energy is
     /// negative, or the duration is not strictly positive.
-    pub fn add_task(&mut self, name: &str, energy: Joules, duration: Seconds, deps: &[TaskId]) -> TaskId {
+    pub fn add_task(
+        &mut self,
+        name: &str,
+        energy: Joules,
+        duration: Seconds,
+        deps: &[TaskId],
+    ) -> TaskId {
         assert!(energy.0 >= 0.0, "negative task energy");
         assert!(duration.0 > 0.0, "task duration must be positive");
         for d in deps {
@@ -121,10 +127,7 @@ impl TaskGraph {
         // One place per dependency edge.
         for (i, task) in self.tasks.iter().enumerate() {
             for d in &task.deps {
-                let edge = net.add_place(
-                    &format!("{}->{}", self.tasks[d.0].name, task.name),
-                    0,
-                );
+                let edge = net.add_place(&format!("{}->{}", self.tasks[d.0].name, task.name), 0);
                 net.add_output_arc(transition_of[d.0], edge, 1);
                 net.add_input_arc(transition_of[i], edge, 1);
             }
@@ -173,15 +176,30 @@ mod tests {
         let mut compiled = g.compile();
         let mut e = Joules(f64::INFINITY);
         // Only `a` is enabled initially.
-        assert_eq!(compiled.net.enabled(e), vec![compiled.transition_of[a.index()]]);
-        compiled.net.fire(compiled.transition_of[a.index()], &mut e).unwrap();
+        assert_eq!(
+            compiled.net.enabled(e),
+            vec![compiled.transition_of[a.index()]]
+        );
+        compiled
+            .net
+            .fire(compiled.transition_of[a.index()], &mut e)
+            .unwrap();
         // Now b and c; d still blocked.
         let en = compiled.net.enabled(e);
         assert_eq!(en.len(), 2);
         assert!(!en.contains(&compiled.transition_of[d.index()]));
-        compiled.net.fire(compiled.transition_of[b.index()], &mut e).unwrap();
-        compiled.net.fire(compiled.transition_of[c.index()], &mut e).unwrap();
-        compiled.net.fire(compiled.transition_of[d.index()], &mut e).unwrap();
+        compiled
+            .net
+            .fire(compiled.transition_of[b.index()], &mut e)
+            .unwrap();
+        compiled
+            .net
+            .fire(compiled.transition_of[c.index()], &mut e)
+            .unwrap();
+        compiled
+            .net
+            .fire(compiled.transition_of[d.index()], &mut e)
+            .unwrap();
         for t in g.ids() {
             assert_eq!(compiled.net.tokens(compiled.done_place_of[t.index()]), 1);
         }
@@ -195,7 +213,10 @@ mod tests {
         let a = g.add_task("a", Joules(1.0), Seconds(1.0), &[]);
         let mut compiled = g.compile();
         let mut e = Joules(f64::INFINITY);
-        compiled.net.fire(compiled.transition_of[a.index()], &mut e).unwrap();
+        compiled
+            .net
+            .fire(compiled.transition_of[a.index()], &mut e)
+            .unwrap();
         assert!(compiled
             .net
             .fire(compiled.transition_of[a.index()], &mut e)

@@ -167,7 +167,11 @@ mod tests {
         let loaded = b.terminal_voltage(Watts(30e-3));
         assert_eq!(idle, Volts(3.0));
         // 10 mA through 15 Ω = 150 mV sag.
-        assert!((idle.0 - loaded.0 - 0.15).abs() < 1e-3, "sag {}", idle.0 - loaded.0);
+        assert!(
+            (idle.0 - loaded.0 - 0.15).abs() < 1e-3,
+            "sag {}",
+            idle.0 - loaded.0
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ mod tests {
         }
         assert!((total.0 - 5e-6).abs() < 1e-8, "delivered {total}");
         // No real deficit — only round-off dust from the η round trip.
-        assert!(c.report().deficit.0 < 1e-15, "deficit {}", c.report().deficit);
+        assert!(
+            c.report().deficit.0 < 1e-15,
+            "deficit {}",
+            c.report().deficit
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl DcDcConverter {
     ///
     /// Panics unless `0 < eta_peak <= 1` and `eta_rolloff >= 0`.
     pub fn with_efficiency(mut self, eta_peak: f64, eta_rolloff: f64) -> Self {
-        assert!(eta_peak > 0.0 && eta_peak <= 1.0, "peak efficiency out of range");
+        assert!(
+            eta_peak > 0.0 && eta_peak <= 1.0,
+            "peak efficiency out of range"
+        );
         assert!(eta_rolloff >= 0.0, "negative roll-off");
         self.eta_peak = eta_peak;
         self.eta_rolloff = eta_rolloff;
@@ -159,15 +162,23 @@ mod tests {
     #[test]
     fn quiescent_draw_is_paid_even_for_zero_load() {
         let c = DcDcConverter::new(Volts(0.5));
-        let input = c.input_energy_for(Joules(0.0), Volts(0.5), Seconds(1.0)).unwrap();
+        let input = c
+            .input_energy_for(Joules(0.0), Volts(0.5), Seconds(1.0))
+            .unwrap();
         assert!((input.0 - 1e-6).abs() < 1e-12);
-        assert_eq!(c.output_energy_for(Joules(0.5e-6), Volts(0.5), Seconds(1.0)).0, 0.0);
+        assert_eq!(
+            c.output_energy_for(Joules(0.5e-6), Volts(0.5), Seconds(1.0))
+                .0,
+            0.0
+        );
     }
 
     #[test]
     fn dead_input_yields_none() {
         let c = DcDcConverter::new(Volts(0.5));
-        assert!(c.input_energy_for(Joules(1e-6), Volts(0.0), Seconds(1.0)).is_none());
+        assert!(c
+            .input_energy_for(Joules(1e-6), Volts(0.0), Seconds(1.0))
+            .is_none());
     }
 
     #[test]

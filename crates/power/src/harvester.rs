@@ -5,8 +5,8 @@
 //! operating point, and a [`HarvestSource`] freezes one operating point
 //! into a plain `power(t)` signal for the power chain.
 
-use emc_units::{Hertz, Seconds, Watts, Waveform};
 use emc_prng::Rng;
+use emc_units::{Hertz, Seconds, Watts, Waveform};
 
 /// A resonant vibration micro-generator.
 ///
@@ -94,7 +94,10 @@ impl SolarCell {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn new(v_oc: f64, i_sc: f64) -> Self {
-        assert!(v_oc > 0.0 && i_sc > 0.0, "solar cell parameters must be positive");
+        assert!(
+            v_oc > 0.0 && i_sc > 0.0,
+            "solar cell parameters must be positive"
+        );
         Self {
             v_oc,
             i_sc,
@@ -189,7 +192,10 @@ impl BurstSource {
         span: Seconds,
         rng: &mut R,
     ) -> Self {
-        assert!(mean_gap.0 > 0.0 && duration.0 > 0.0, "durations must be positive");
+        assert!(
+            mean_gap.0 > 0.0 && duration.0 > 0.0,
+            "durations must be positive"
+        );
         let mut starts = Vec::new();
         let mut t = 0.0;
         while t < span.0 {
@@ -296,7 +302,10 @@ mod tests {
         let on_peak = h.power(Seconds(0.0), Hertz(120.0));
         let detuned = h.power(Seconds(0.0), Hertz(132.0)); // one bandwidth off
         assert!((on_peak.0 - 100e-6).abs() < 1e-12);
-        assert!((detuned.0 / on_peak.0 - 0.5).abs() < 0.01, "Lorentzian half-power");
+        assert!(
+            (detuned.0 / on_peak.0 - 0.5).abs() < 0.01,
+            "Lorentzian half-power"
+        );
         assert!(h.power(Seconds(0.0), Hertz(240.0)).0 < 0.02 * on_peak.0);
     }
 
@@ -371,7 +380,11 @@ mod tests {
         let a = mk(1);
         let b = mk(1);
         assert_eq!(a, b);
-        assert!(a.burst_count() > 50 && a.burst_count() < 200, "{}", a.burst_count());
+        assert!(
+            a.burst_count() > 50 && a.burst_count() < 200,
+            "{}",
+            a.burst_count()
+        );
         // Duty cycle ≈ duration/(gap+duration) ≈ 5 %.
         let src = a.into_source();
         let mut on = 0;

@@ -237,14 +237,13 @@ impl EnergyTokenScheduler {
                 let mut candidates = e.ready_tasks();
                 match policy {
                     StartPolicy::FirstReady => {}
-                    StartPolicy::CheapestFirst => candidates
-                        .sort_by(|a, b| {
-                            e.graph
-                                .task(*a)
-                                .energy
-                                .partial_cmp(&e.graph.task(*b).energy)
-                                .expect("finite task energies")
-                        }),
+                    StartPolicy::CheapestFirst => candidates.sort_by(|a, b| {
+                        e.graph
+                            .task(*a)
+                            .energy
+                            .partial_cmp(&e.graph.task(*b).energy)
+                            .expect("finite task energies")
+                    }),
                     StartPolicy::DearestFirst => candidates.sort_by(|a, b| {
                         e.graph
                             .task(*b)
@@ -390,9 +389,23 @@ mod tests {
         let income = |_| Joules(3e-6);
         let horizon = 22;
         let cheap = EnergyTokenScheduler::run_with_policy(
-            mk(), Joules(60e-6), 1, 1.0, horizon, income, StartPolicy::CheapestFirst);
+            mk(),
+            Joules(60e-6),
+            1,
+            1.0,
+            horizon,
+            income,
+            StartPolicy::CheapestFirst,
+        );
         let dear = EnergyTokenScheduler::run_with_policy(
-            mk(), Joules(60e-6), 1, 1.0, horizon, income, StartPolicy::DearestFirst);
+            mk(),
+            Joules(60e-6),
+            1,
+            1.0,
+            horizon,
+            income,
+            StartPolicy::DearestFirst,
+        );
         assert!(
             cheap.completed >= dear.completed,
             "cheapest-first count {} vs dearest-first {}",

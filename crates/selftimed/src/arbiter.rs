@@ -97,10 +97,10 @@ impl Arbiter {
 mod tests {
     use super::*;
     use emc_device::DeviceModel;
+    use emc_prng::Rng;
+    use emc_prng::StdRng;
     use emc_sim::SupplyKind;
     use emc_units::{Seconds, Waveform};
-    use emc_prng::StdRng;
-    use emc_prng::Rng;
 
     fn rig() -> (Simulator, Arbiter) {
         let mut nl = Netlist::new();
@@ -183,7 +183,11 @@ mod tests {
             let who = rng.gen_range(0usize..2);
             want[who] = !want[who];
             t += rng.gen_range(0.05e-9..3e-9);
-            let net = if who == 0 { arb.request1() } else { arb.request2() };
+            let net = if who == 0 {
+                arb.request1()
+            } else {
+                arb.request2()
+            };
             sim.schedule_input(net, Seconds(t), want[who]);
         }
         settle_checked(&mut sim, &arb);

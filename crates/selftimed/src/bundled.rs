@@ -366,7 +366,6 @@ mod tests {
         (sim, p)
     }
 
-
     #[test]
     fn correct_at_nominal_with_margin() {
         let words = [1, 0, 1, 1, 0, 0, 1, 0];

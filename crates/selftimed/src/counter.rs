@@ -193,10 +193,13 @@ impl SelfTimedOscillator {
 mod tests {
     use super::*;
     use emc_device::DeviceModel;
-    use emc_sim::{SupplyKind, };
+    use emc_sim::SupplyKind;
     use emc_units::{Seconds, Waveform};
 
-    fn counting_rig(bits: usize, vdd: f64) -> (Simulator, ToggleRippleCounter, SelfTimedOscillator) {
+    fn counting_rig(
+        bits: usize,
+        vdd: f64,
+    ) -> (Simulator, ToggleRippleCounter, SelfTimedOscillator) {
         let mut nl = Netlist::new();
         let osc = SelfTimedOscillator::build(&mut nl, "osc");
         let cnt = ToggleRippleCounter::build(&mut nl, bits, osc.output(), "cnt");

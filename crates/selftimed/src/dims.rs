@@ -78,13 +78,7 @@ pub fn dims_full_adder(
     let sum = dims_gate2(netlist, |x, y| x ^ y, axb, cin, &format!("{name}.sum"));
     let ab = dims_gate2(netlist, |x, y| x & y, a, b, &format!("{name}.ab"));
     let cin_axb = dims_gate2(netlist, |x, y| x & y, axb, cin, &format!("{name}.cin_axb"));
-    let carry = dims_gate2(
-        netlist,
-        |x, y| x | y,
-        ab,
-        cin_axb,
-        &format!("{name}.carry"),
-    );
+    let carry = dims_gate2(netlist, |x, y| x | y, ab, cin_axb, &format!("{name}.carry"));
     (sum, carry)
 }
 
@@ -247,10 +241,10 @@ fn netlist_validity(netlist: &mut Netlist, bit: DualRail, name: &str) -> NetId {
 mod tests {
     use super::*;
     use emc_device::DeviceModel;
+    use emc_prng::Rng;
+    use emc_prng::StdRng;
     use emc_sim::SupplyKind;
     use emc_units::Waveform;
-    use emc_prng::StdRng;
-    use emc_prng::Rng;
 
     fn adder_rig(width: usize, vdd: f64) -> (Simulator, DualRailAdder) {
         let mut nl = Netlist::new();
@@ -330,7 +324,9 @@ mod tests {
         for x in 0..8u64 {
             for y in 0..8u64 {
                 let deadline = Seconds(sim.now().0 + 1e-3);
-                let got = adder.add(&mut sim, x, y, deadline).expect("addition completed");
+                let got = adder
+                    .add(&mut sim, x, y, deadline)
+                    .expect("addition completed");
                 assert_eq!(got, x + y, "{x} + {y}");
             }
         }
@@ -345,7 +341,9 @@ mod tests {
             let x = rng.gen_range(0..256);
             let y = rng.gen_range(0..256);
             let deadline = Seconds(sim.now().0 + 1.0);
-            let got = adder.add(&mut sim, x, y, deadline).expect("addition completed");
+            let got = adder
+                .add(&mut sim, x, y, deadline)
+                .expect("addition completed");
             assert_eq!(got, x + y, "{x} + {y} at 0.3 V");
         }
         assert!(sim.hazards().is_empty());

@@ -161,10 +161,10 @@ impl MullerPipeline {
 mod tests {
     use super::*;
     use emc_device::DeviceModel;
+    use emc_prng::Rng;
+    use emc_prng::StdRng;
     use emc_sim::SupplyKind;
     use emc_units::Waveform;
-    use emc_prng::StdRng;
-    use emc_prng::Rng;
 
     fn rig(n: usize, vdd: f64) -> (Simulator, MullerPipeline) {
         let mut nl = Netlist::new();

@@ -121,7 +121,11 @@ impl DualRailPipeline {
         // Close the ¬ack feedback: stage i's C-elements wait on the
         // inverted acknowledge of stage i+1 (or the environment sink).
         for i in 0..n_stages {
-            let next_ack = if i + 1 < n_stages { acks[i + 1] } else { sink_ack };
+            let next_ack = if i + 1 < n_stages {
+                acks[i + 1]
+            } else {
+                sink_ack
+            };
             let nack = netlist.gate(GateKind::Inv, &[next_ack], &format!("{name}.s{i}.nack"));
             for bit in &stages[i] {
                 netlist.connect_feedback(bit.t, nack);
@@ -322,10 +326,10 @@ impl DualRailPipeline {
 mod tests {
     use super::*;
     use emc_device::DeviceModel;
+    use emc_prng::Rng;
+    use emc_prng::StdRng;
     use emc_sim::SupplyKind;
     use emc_units::{Hertz, Waveform};
-    use emc_prng::StdRng;
-    use emc_prng::Rng;
 
     fn rig(stages: usize, width: usize, vdd: Waveform) -> (Simulator, DualRailPipeline) {
         let mut nl = Netlist::new();

@@ -224,8 +224,8 @@ mod tests {
         let conv = cdc();
         let a = conv.convert(Volts(0.6));
         let b = conv.convert(Volts(1.0));
-        let model = (1.0_f64 / b.v_residual.0.max(0.12)).ln()
-            / (0.6_f64 / a.v_residual.0.max(0.12)).ln();
+        let model =
+            (1.0_f64 / b.v_residual.0.max(0.12)).ln() / (0.6_f64 / a.v_residual.0.max(0.12)).ln();
         let measured = b.code as f64 / a.code as f64;
         assert!(
             (measured / model - 1.0).abs() < 0.35,
@@ -253,7 +253,12 @@ mod tests {
         assert!(r.transitions > r.code);
         // The register tracks the LSB event count up to a stranded carry.
         assert!(r.register <= r.code);
-        assert!(r.transitions < r.code * 30, "transitions {} for code {}", r.transitions, r.code);
+        assert!(
+            r.transitions < r.code * 30,
+            "transitions {} for code {}",
+            r.transitions,
+            r.code
+        );
     }
 
     #[test]
@@ -263,10 +268,7 @@ mod tests {
         for &v in &[0.5, 0.7, 0.9] {
             let code = conv.convert(Volts(v)).code;
             let est = estimate(code);
-            assert!(
-                (est.0 - v).abs() < 0.030,
-                "estimated {est} for true {v} V"
-            );
+            assert!((est.0 - v).abs() < 0.030, "estimated {est} for true {v} V");
         }
     }
 

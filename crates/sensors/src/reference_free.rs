@@ -182,7 +182,10 @@ mod tests {
     fn unity_gain_is_coarser() {
         let fine = ReferenceFreeSensor::new(8).worst_case_error();
         let coarse = ReferenceFreeSensor::new(1).worst_case_error();
-        assert!(coarse > fine, "gain must refine accuracy: {coarse} vs {fine}");
+        assert!(
+            coarse > fine,
+            "gain must refine accuracy: {coarse} vs {fine}"
+        );
     }
 
     #[test]
@@ -238,7 +241,11 @@ mod tests {
         for _ in 0..256 {
             let v = rng.gen_range(0.2f64..1.0);
             let est = s.measure_and_decode(Volts(v));
-            assert!((est.0 - v).abs() <= 0.010, "err {} at {v}", (est.0 - v).abs());
+            assert!(
+                (est.0 - v).abs() <= 0.010,
+                "err {} at {v}",
+                (est.0 - v).abs()
+            );
         }
     }
 }

@@ -38,7 +38,10 @@ impl RingOscillatorSensor {
     ///
     /// As for [`Self::new`].
     pub fn with_device(stages: usize, window: Seconds, device: DeviceModel) -> Self {
-        assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+        assert!(
+            stages >= 3 && stages % 2 == 1,
+            "ring needs an odd stage count >= 3"
+        );
         assert!(window.0 > 0.0, "window must be positive");
         let mut s = Self {
             device,
@@ -118,7 +121,11 @@ mod tests {
         let s = sensor();
         for &v in &[0.3, 0.5, 0.8, 1.0] {
             let est = s.decode(s.measure(Volts(v)));
-            assert!((est.0 - v).abs() < 0.01, "err at {v}: {}", (est.0 - v).abs());
+            assert!(
+                (est.0 - v).abs() < 0.01,
+                "err at {v}: {}",
+                (est.0 - v).abs()
+            );
         }
     }
 

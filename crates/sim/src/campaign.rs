@@ -299,8 +299,7 @@ where
     let threads = config.effective_threads().min(jobs.len().max(1));
     let started = Instant::now();
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunReport>>> =
-        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RunReport>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -349,6 +348,13 @@ pub enum StopCondition {
     },
 }
 
+/// Builder hook of a [`SimJob`]: netlist plus device model, per run.
+pub type BuildFn<'a> = Box<dyn Fn(&RunContext) -> (Netlist, DeviceModel) + Sync + 'a>;
+/// Preparation hook of a [`SimJob`], between domain assignment and start.
+pub type PrepareFn<'a> = Box<dyn Fn(&mut Simulator, &RunContext) + Sync + 'a>;
+/// Measurement hook of a [`SimJob`]: the figure row after the run.
+pub type MeasureFn<'a> = Box<dyn Fn(&Simulator, &RunContext) -> Vec<f64> + Sync + 'a>;
+
 /// One (netlist builder, supply waveform, stop condition) simulation
 /// job — the campaign shape the paper's sweeps share. The run's seed
 /// arrives in the builder's [`RunContext`] for randomised workloads,
@@ -356,16 +362,16 @@ pub enum StopCondition {
 pub struct SimJob<'a> {
     /// Builds the netlist and returns it with the device model to
     /// simulate under. Called once, on the worker thread.
-    pub build: Box<dyn Fn(&RunContext) -> (Netlist, DeviceModel) + Sync + 'a>,
+    pub build: BuildFn<'a>,
     /// The supply the whole netlist runs from.
     pub supply: SupplyKind,
     /// Hook between domain assignment and `start()`: initial values,
     /// watches, scheduled inputs, delay scaling, extra loads.
-    pub prepare: Box<dyn Fn(&mut Simulator, &RunContext) + Sync + 'a>,
+    pub prepare: PrepareFn<'a>,
     /// When the run stops.
     pub stop: StopCondition,
     /// Extracts the figure row after the run.
-    pub measure: Box<dyn Fn(&Simulator, &RunContext) -> Vec<f64> + Sync + 'a>,
+    pub measure: MeasureFn<'a>,
 }
 
 /// A campaign over [`SimJob`]s: builds, runs and measures each job on

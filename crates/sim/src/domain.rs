@@ -221,12 +221,10 @@ mod tests {
 
     #[test]
     fn ideal_tracks_waveform() {
-        let d = PowerDomain::new("vdd", SupplyKind::ideal(Waveform::ramp(
-            0.2,
-            1.0,
-            Seconds(0.0),
-            Seconds(1.0),
-        )));
+        let d = PowerDomain::new(
+            "vdd",
+            SupplyKind::ideal(Waveform::ramp(0.2, 1.0, Seconds(0.0), Seconds(1.0))),
+        );
         assert_eq!(d.voltage(Seconds(0.0)), Volts(0.2));
         assert!((d.voltage(Seconds(0.5)).0 - 0.6).abs() < 1e-12);
         assert_eq!(d.voltage(Seconds(2.0)), Volts(1.0));

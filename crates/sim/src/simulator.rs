@@ -242,7 +242,10 @@ impl Simulator {
     ///
     /// Panics if `scale` is not strictly positive.
     pub fn set_delay_scale(&mut self, gate: GateId, scale: f64) {
-        assert!(scale > 0.0 && scale.is_finite(), "delay scale must be positive");
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "delay scale must be positive"
+        );
         self.delay_scale[gate.index()] = scale;
     }
 
@@ -264,10 +267,7 @@ impl Simulator {
     /// Panics if `net` is not driven by an [`GateKind::Input`] gate or
     /// `time` is in the simulated past.
     pub fn schedule_input(&mut self, net: NetId, time: Seconds, value: bool) {
-        let gate = self
-            .netlist
-            .driver_of(net)
-            .expect("net has no driver");
+        let gate = self.netlist.driver_of(net).expect("net has no driver");
         assert_eq!(
             self.netlist.gate_ref(gate).kind(),
             GateKind::Input,
@@ -296,7 +296,8 @@ impl Simulator {
         assert!(!self.started, "start called twice");
         for (i, d) in self.gate_domain.iter().enumerate() {
             assert!(
-                d.is_some() || self.netlist.gate_ref(self.netlist.gate_id(i)).kind() == GateKind::Input,
+                d.is_some()
+                    || self.netlist.gate_ref(self.netlist.gate_id(i)).kind() == GateKind::Input,
                 "gate {} has no power domain",
                 self.netlist.gate_id(i)
             );
@@ -570,7 +571,8 @@ impl Simulator {
         let p = self.device.params();
         let fanout_units = self.netlist.fanout_load_units(g.output());
         Farads(
-            p.drain_cap.0 * g.drive() + p.gate_cap.0 * fanout_units
+            p.drain_cap.0 * g.drive()
+                + p.gate_cap.0 * fanout_units
                 + self.extra_load[gate.index()].0,
         )
     }
@@ -627,7 +629,10 @@ impl Simulator {
                 };
                 self.push_event(ev);
             }
-            SupplyKind::Ideal { waveform, resolution } => {
+            SupplyKind::Ideal {
+                waveform,
+                resolution,
+            } => {
                 // Constant rails need no numerical integration: the
                 // remaining work completes in one exact step. (Without
                 // this, a millisecond-scale sub-threshold delay would be
@@ -715,8 +720,7 @@ impl Simulator {
                 let load = self.output_load(gate);
                 let before = self.domains[d.0].switching_energy();
                 self.domains[d.0].draw_switching(load, time);
-                self.gate_energy[gate.index()] +=
-                    self.domains[d.0].switching_energy() - before;
+                self.gate_energy[gate.index()] += self.domains[d.0].switching_energy() - before;
             }
         }
         self.values[net.index()] = value;
@@ -736,8 +740,7 @@ impl Simulator {
             let g = self.netlist.gate_ref(f);
             let current = self.values[g.output().index()];
             let target = {
-                let inputs: Vec<bool> =
-                    g.inputs().iter().map(|n| self.values[n.index()]).collect();
+                let inputs: Vec<bool> = g.inputs().iter().map(|n| self.values[n.index()]).collect();
                 let pos = g.inputs().iter().position(|&n| n == net);
                 fk.eval_with_edge(&inputs, current, pos.map(|p| (p, value)))
             };
@@ -779,4 +782,3 @@ impl Simulator {
         }
     }
 }
-

@@ -106,9 +106,8 @@ pub fn longest_path(netlist: &Netlist, device: &DeviceModel, vdd: Volts) -> StaR
                     }
                 }
                 let fanout_units = netlist.fanout_load_units(gate.output());
-                let load = Farads(
-                    params.drain_cap.0 * gate.drive() + params.gate_cap.0 * fanout_units,
-                );
+                let load =
+                    Farads(params.drain_cap.0 * gate.drive() + params.gate_cap.0 * fanout_units);
                 let own = device.gate_delay(vdd, load, gate.drive()) * kind.delay_factor();
                 arrival[g] = Seconds(worst + own.0);
                 state[g] = 2;

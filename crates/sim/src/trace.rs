@@ -38,7 +38,11 @@ impl Trace {
 
     /// Entries for a single net, in time order.
     pub fn for_net(&self, net: NetId) -> Vec<TraceEntry> {
-        self.entries.iter().copied().filter(|e| e.net == net).collect()
+        self.entries
+            .iter()
+            .copied()
+            .filter(|e| e.net == net)
+            .collect()
     }
 
     /// Number of transitions recorded on `net`.

@@ -113,13 +113,7 @@ mod tests {
     #[test]
     fn vcd_contains_header_and_changes() {
         let (sim, a, y) = traced_inverter();
-        let vcd = to_vcd(
-            sim.trace(),
-            sim.netlist(),
-            &[a, y],
-            &[false, true],
-            1000,
-        );
+        let vcd = to_vcd(sim.trace(), sim.netlist(), &[a, y], &[false, true], 1000);
         assert!(vcd.contains("$timescale 1000 fs $end"));
         assert!(vcd.contains("$var wire 1 ! a $end"));
         assert!(vcd.contains("$var wire 1 \" y $end"));

@@ -5,8 +5,8 @@
 
 use emc_device::DeviceModel;
 use emc_netlist::{GateKind, NetId, Netlist};
-use emc_sim::{Simulator, SupplyKind};
 use emc_prng::{Rng, StdRng};
+use emc_sim::{Simulator, SupplyKind};
 use emc_units::Waveform;
 
 #[derive(Debug, Clone)]

@@ -54,7 +54,10 @@ fn events_pop_in_nondecreasing_time_order() {
         last = ev.time;
         popped += 1;
     }
-    assert!(popped > 100, "storm should produce many events, got {popped}");
+    assert!(
+        popped > 100,
+        "storm should produce many events, got {popped}"
+    );
 }
 
 /// Fires the simulator dry and returns the (net, value) order of events

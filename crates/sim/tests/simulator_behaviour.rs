@@ -4,10 +4,10 @@
 
 use emc_device::DeviceModel;
 use emc_netlist::{GateId, GateKind, NetId, Netlist};
+use emc_prng::Rng;
+use emc_prng::StdRng;
 use emc_sim::{Simulator, SupplyKind};
 use emc_units::{Farads, Hertz, Seconds, Volts, Waveform};
-use emc_prng::StdRng;
-use emc_prng::Rng;
 
 /// A chain of `n` inverters behind an input; returns (input, chain outputs).
 fn inverter_chain(n: usize) -> (Netlist, NetId, Vec<NetId>) {
@@ -142,9 +142,8 @@ fn energy_accounting_matches_cv2_per_rising_edge() {
     let p = dev.params();
     // in drives inv0; inv_i drives inv_{i+1}; inv3 unloaded.
     let c_driver = |fanout_units: f64| p.drain_cap.0 + p.gate_cap.0 * fanout_units;
-    let expected = (c_driver(1.0) /* in */ + c_driver(1.0) /* inv1 */ + c_driver(0.0) /* inv3 */)
-        * 1.0
-        * 1.0;
+    let expected =
+        (c_driver(1.0) /* in */ + c_driver(1.0) /* inv1 */ + c_driver(0.0)/* inv3 */) * 1.0 * 1.0;
     let leak_slack = 1e-15; // leakage over nanoseconds is negligible here
     assert!(
         (drawn - expected).abs() < expected * 0.05 + leak_slack,

@@ -128,7 +128,12 @@ impl EnergyCalibration {
 
     /// Static (retention) power of the whole macro at `vdd`, scaled by
     /// the cell flavour's leakage factor.
-    pub fn retention_power(&self, timing: &SramTiming, vdd: Volts, cell_leak_factor: f64) -> emc_units::Watts {
+    pub fn retention_power(
+        &self,
+        timing: &SramTiming,
+        vdd: Volts,
+        cell_leak_factor: f64,
+    ) -> emc_units::Watts {
         timing.device().leakage_power(vdd) * self.leak_units * cell_leak_factor
     }
 
@@ -205,7 +210,9 @@ mod tests {
     fn reads_cheaper_than_writes() {
         let (t, c) = rig();
         for v in [0.3, 0.4, 0.7, 1.0] {
-            assert!(c.access_energy(&t, Op::Read, Volts(v)) < c.access_energy(&t, Op::Write, Volts(v)));
+            assert!(
+                c.access_energy(&t, Op::Read, Volts(v)) < c.access_energy(&t, Op::Write, Volts(v))
+            );
         }
     }
 
@@ -214,8 +221,16 @@ mod tests {
         let (_, c) = rig();
         // Switched capacitance of a 1-kbit access: hundreds of fF to a
         // few pF is the plausible range.
-        assert!(c.cap_write() > 1e-13 && c.cap_write() < 2e-11, "A = {}", c.cap_write());
-        assert!(c.leak_units() > 10.0 && c.leak_units() < 1e6, "B = {}", c.leak_units());
+        assert!(
+            c.cap_write() > 1e-13 && c.cap_write() < 2e-11,
+            "A = {}",
+            c.cap_write()
+        );
+        assert!(
+            c.leak_units() > 10.0 && c.leak_units() < 1e6,
+            "B = {}",
+            c.leak_units()
+        );
     }
 
     #[test]

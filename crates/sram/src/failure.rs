@@ -2,8 +2,8 @@
 //! (the analysis of \[8\] in the paper).
 
 use emc_device::{DeviceModel, ProcessCorner, VariationModel};
-use emc_units::Volts;
 use emc_prng::Rng;
+use emc_units::Volts;
 
 use crate::cell::CellKind;
 use crate::timing::{Phase, SramTiming};
@@ -225,8 +225,14 @@ mod tests {
         let table = fa().corner_table(&d);
         assert_eq!(table.len(), 5);
         // Slow-slow is the worst corner for minimum voltage.
-        let tt = table.iter().find(|r| r.corner == ProcessCorner::Typical).unwrap();
-        let ss = table.iter().find(|r| r.corner == ProcessCorner::SlowSlow).unwrap();
+        let tt = table
+            .iter()
+            .find(|r| r.corner == ProcessCorner::Typical)
+            .unwrap();
+        let ss = table
+            .iter()
+            .find(|r| r.corner == ProcessCorner::SlowSlow)
+            .unwrap();
         assert!(ss.read_latency_0v3 > tt.read_latency_0v3);
     }
 

@@ -257,11 +257,15 @@ impl Sram {
     pub fn read_at(&self, vdd: Volts, addr: usize, disc: TimingDiscipline) -> AccessOutcome {
         let word = self.storage[addr];
         let (latency, correct) = self.latency_and_correct(Op::Read, vdd, disc);
-        let energy = self.energy.access_energy(&self.timing, Op::Read, vdd)
-            * Self::energy_factor(disc);
+        let energy =
+            self.energy.access_energy(&self.timing, Op::Read, vdd) * Self::energy_factor(disc);
         let completed = latency.0.is_finite();
         AccessOutcome {
-            data: if correct && completed { Some(word) } else { None },
+            data: if correct && completed {
+                Some(word)
+            } else {
+                None
+            },
             correct: correct && completed,
             latency,
             energy: if completed { energy } else { Joules(0.0) },
@@ -299,8 +303,8 @@ impl Sram {
                 self.storage[addr] = (self.storage[addr] & !mask) | (word & mask);
             }
         }
-        let energy = self.energy.access_energy(&self.timing, Op::Write, vdd)
-            * Self::energy_factor(disc);
+        let energy =
+            self.energy.access_energy(&self.timing, Op::Write, vdd) * Self::energy_factor(disc);
         AccessOutcome {
             data: Some(word),
             correct: correct && completed,
@@ -313,7 +317,10 @@ impl Sram {
     fn write_budget_fraction(&self, vdd: Volts, disc: TimingDiscipline) -> f64 {
         match disc {
             TimingDiscipline::Bundled { design_vdd, margin } => {
-                let budget = margin * self.timing.phase_inverter_units(Phase::WriteDrive, design_vdd);
+                let budget = margin
+                    * self
+                        .timing
+                        .phase_inverter_units(Phase::WriteDrive, design_vdd);
                 let needed = self.timing.phase_inverter_units(Phase::WriteDrive, vdd);
                 budget / needed
             }
@@ -345,8 +352,11 @@ impl Sram {
         let v_end = Volts(supply.value_at(t_end));
         let correct = completed && self.senses_reliably(v_end);
         let energy = if completed {
-            self.energy
-                .access_energy(&self.timing, Op::Read, Volts(supply.value_at(t0).max(v_end.0)))
+            self.energy.access_energy(
+                &self.timing,
+                Op::Read,
+                Volts(supply.value_at(t0).max(v_end.0)),
+            )
         } else {
             Joules(0.0)
         };
@@ -380,7 +390,8 @@ impl Sram {
         }
         let v_rep = Volts(supply.value_at(t_end));
         let energy = if completed {
-            self.energy.access_energy(&self.timing, Op::Write, v_rep.max(Volts(0.2)))
+            self.energy
+                .access_energy(&self.timing, Op::Write, v_rep.max(Volts(0.2)))
         } else {
             Joules(0.0)
         };
@@ -439,7 +450,12 @@ mod tests {
     fn write_then_read_round_trip_across_vdd() {
         let mut s = sram();
         for (i, v) in [0.25, 0.4, 0.7, 1.0].iter().enumerate() {
-            let w = s.write_at(Volts(*v), i, 0x1234 + i as u64, TimingDiscipline::Completion);
+            let w = s.write_at(
+                Volts(*v),
+                i,
+                0x1234 + i as u64,
+                TimingDiscipline::Completion,
+            );
             assert!(w.correct, "write failed at {v} V");
             let r = s.read_at(Volts(*v), i, TimingDiscipline::Completion);
             assert_eq!(r.data, Some(0x1234 + i as u64));
@@ -452,8 +468,16 @@ mod tests {
         let mut s = sram();
         let w1 = s.write_at(Volts(1.0), 0, 1, TimingDiscipline::Completion);
         let w04 = s.write_at(Volts(0.4), 0, 2, TimingDiscipline::Completion);
-        assert!((w1.energy.0 - 5.8e-12).abs() < 1e-14, "E(1V) = {}", w1.energy);
-        assert!((w04.energy.0 - 1.9e-12).abs() < 1e-14, "E(0.4V) = {}", w04.energy);
+        assert!(
+            (w1.energy.0 - 5.8e-12).abs() < 1e-14,
+            "E(1V) = {}",
+            w1.energy
+        );
+        assert!(
+            (w04.energy.0 - 1.9e-12).abs() < 1e-14,
+            "E(0.4V) = {}",
+            w04.energy
+        );
     }
 
     #[test]
@@ -476,7 +500,12 @@ mod tests {
         let b = s.read_at(Volts(1.0), 1, TimingDiscipline::bundled_nominal());
         assert!(b.correct);
         assert_eq!(b.data, Some(7));
-        assert!(b.energy < si.energy, "bundled energy {} vs SI {}", b.energy, si.energy);
+        assert!(
+            b.energy < si.energy,
+            "bundled energy {} vs SI {}",
+            b.energy,
+            si.energy
+        );
         // The 2× margin makes bundled *latency* similar or worse; its win
         // is energy. Correctness of the comparison matters, not order.
         assert!(si.correct);
@@ -539,9 +568,20 @@ mod tests {
         ]);
         // Starts while the supply is dead: all the work happens after the
         // ramp at 5 µs.
-        let w = s.write_under(&supply, Seconds(0.0), 3, 0x00FF, Seconds(20e-9), Seconds(1.0));
+        let w = s.write_under(
+            &supply,
+            Seconds(0.0),
+            3,
+            0x00FF,
+            Seconds(20e-9),
+            Seconds(1.0),
+        );
         assert!(w.correct);
-        assert!(w.latency.0 > 5e-6, "latency {} must include the dead time", w.latency);
+        assert!(
+            w.latency.0 > 5e-6,
+            "latency {} must include the dead time",
+            w.latency
+        );
     }
 
     #[test]
@@ -558,8 +598,12 @@ mod tests {
     #[test]
     fn read_latency_ratio_between_0v19_and_1v_is_large() {
         let s = sram();
-        let fast = s.read_at(Volts(1.0), 0, TimingDiscipline::Completion).latency;
-        let slow = s.read_at(Volts(0.19), 0, TimingDiscipline::Completion).latency;
+        let fast = s
+            .read_at(Volts(1.0), 0, TimingDiscipline::Completion)
+            .latency;
+        let slow = s
+            .read_at(Volts(0.19), 0, TimingDiscipline::Completion)
+            .latency;
         // Inverter slowdown (~1000×) times the mismatch growth (~3×).
         let ratio = slow.0 / fast.0;
         assert!(ratio > 500.0, "ratio {ratio}");

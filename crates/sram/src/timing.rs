@@ -187,13 +187,21 @@ mod tests {
         let at_1v = t.phase_inverter_units(Phase::BitLine, Volts(1.0));
         let at_190mv = t.phase_inverter_units(Phase::BitLine, Volts(0.19));
         assert!((at_1v - 50.0).abs() < 0.5, "1 V: {at_1v} inverters");
-        assert!((at_190mv - 158.0).abs() < 2.0, "190 mV: {at_190mv} inverters");
+        assert!(
+            (at_190mv - 158.0).abs() < 2.0,
+            "190 mV: {at_190mv} inverters"
+        );
     }
 
     #[test]
     fn logic_phases_are_constant_in_inverter_units() {
         let t = timing();
-        for p in [Phase::Precharge, Phase::WordLine, Phase::Sense, Phase::Completion] {
+        for p in [
+            Phase::Precharge,
+            Phase::WordLine,
+            Phase::Sense,
+            Phase::Completion,
+        ] {
             let a = t.phase_inverter_units(p, Volts(1.0));
             let b = t.phase_inverter_units(p, Volts(0.2));
             assert_eq!(a, b, "{p:?} should scale exactly like an inverter");

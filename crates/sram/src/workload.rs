@@ -1,8 +1,8 @@
 //! Memory workload generation and replay — stress testing the SRAM
 //! disciplines with realistic access streams under arbitrary supplies.
 
-use emc_units::{Joules, Seconds, Volts, Waveform};
 use emc_prng::Rng;
+use emc_units::{Joules, Seconds, Volts, Waveform};
 
 use crate::sram::{Sram, TimingDiscipline};
 

@@ -584,7 +584,10 @@ mod tests {
 
     #[test]
     fn as_constant_rejects_varying_waveforms() {
-        assert_eq!(Waveform::sine(0.2, 0.1, Hertz(1e6), 0.0).as_constant(), None);
+        assert_eq!(
+            Waveform::sine(0.2, 0.1, Hertz(1e6), 0.0).as_constant(),
+            None
+        );
         assert_eq!(Waveform::ramp(0.0, 1.0, T(0.0), T(1.0)).as_constant(), None);
         assert_eq!(
             Waveform::constant(1.0)

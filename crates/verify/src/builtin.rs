@@ -1,0 +1,461 @@
+//! The built-in verification suite: every circuit family the repository
+//! models, closed by a protocol-correct environment, plus deliberately
+//! broken fixtures for the known-bad rules.
+//!
+//! Each environment is an explicit state machine over the circuit's
+//! input nets. The speed-independent circuits (counter, WCHB,
+//! micropipeline, SRAM control, DIMS adder) get environments that follow
+//! the handshake/dual-rail protocol and never disable an excited gate;
+//! the bundled-data pipeline gets a *bundling-disciplined* environment
+//! (data changes only while the request is at rest and the circuit is
+//! quiescent), which models the matched-delay assumption the design is
+//! built on — its D flip-flops still carry pinned `TA001` warnings.
+
+use emc_async::{
+    BundledPipeline, DualRailAdder, DualRailPipeline, MullerPipeline, ToggleRippleCounter,
+};
+use emc_netlist::{DualRail, GateKind, NetId, Netlist};
+use emc_petri::Stg;
+
+use crate::explore::{EnvAction, EnvView, Environment};
+use crate::Circuit;
+
+fn act(net: NetId, value: bool, next: u8) -> EnvAction {
+    EnvAction { net, value, next }
+}
+
+/// Fig. 9/10 charge-to-digital core: a toggle ripple counter driven by a
+/// pulse source. The pulse source is modelled fundamental-mode (it only
+/// fires into a quiescent counter), as the paper's self-timed pulse
+/// generator — whose period is the ring's own settling time — guarantees
+/// by construction.
+fn counter(bits: usize) -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let pulse = nl.input("pulse");
+    let cnt = ToggleRippleCounter::build(&mut nl, bits, pulse, "cnt");
+    let _ = cnt;
+    let mut circuit = Circuit::new(
+        "counter",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| {
+                if v.quiescent() {
+                    vec![act(pulse, !v.value(pulse), 0)]
+                } else {
+                    Vec::new()
+                }
+            }),
+        },
+    );
+    // The carry inverters idle high (their q inputs idle low); starting
+    // them low would make the initial state inconsistent and arm the
+    // next toggle spuriously.
+    for i in 0..bits.saturating_sub(1) {
+        let carry = circuit
+            .netlist
+            .find_net(&format!("cnt.carry{i}"))
+            .expect("counter carry net exists");
+        circuit.initial.push((carry, true));
+    }
+    circuit
+}
+
+/// Design 1: the WCHB dual-rail pipeline with a fully reactive 4-phase
+/// sender and receiver — no timing assumption on either side.
+fn wchb(stages: usize) -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let p = DualRailPipeline::build(&mut nl, stages, "p");
+    let input = p.inputs()[0];
+    let output = p.outputs()[0];
+    let sender_ack = p.sender_ack();
+    let sink_ack = p.sink_ack();
+    Circuit::new(
+        "wchb",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| {
+                let mut acts = Vec::new();
+                let (it, if_) = (v.value(input.t), v.value(input.f));
+                // Sender: offer a new codeword (either rail — a free
+                // choice) from spacer once acknowledged; return to
+                // spacer once the new token is acknowledged.
+                if !it && !if_ && !v.value(sender_ack) {
+                    acts.push(act(input.t, true, 0));
+                    acts.push(act(input.f, true, 0));
+                }
+                if it && v.value(sender_ack) {
+                    acts.push(act(input.t, false, 0));
+                }
+                if if_ && v.value(sender_ack) {
+                    acts.push(act(input.f, false, 0));
+                }
+                // Receiver: acknowledge valid, release on spacer.
+                let (ot, of) = (v.value(output.t), v.value(output.f));
+                if (ot ^ of) && !v.value(sink_ack) {
+                    acts.push(act(sink_ack, true, 0));
+                }
+                if !ot && !of && v.value(sink_ack) {
+                    acts.push(act(sink_ack, false, 0));
+                }
+                acts
+            }),
+        },
+    )
+}
+
+/// The Muller-pipeline control chain with a 4-phase sender at the head
+/// and an eager consumer at the tail, checked against the four-phase
+/// handshake STG on its (request, first-stage) interface.
+fn micropipeline(stages: usize) -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let p = MullerPipeline::build(&mut nl, stages, "mp");
+    let req = p.request();
+    let c0 = p.stages()[0];
+    let c_last = *p.stages().last().expect("non-empty pipeline");
+    let tail_ack = p.tail_ack();
+    let (stg, sreq, sack) = Stg::four_phase_handshake();
+    Circuit::new(
+        "micropipeline",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| {
+                let mut acts = Vec::new();
+                // Sender: next request edge once the head has matched.
+                if v.value(c0) == v.value(req) {
+                    acts.push(act(req, !v.value(req), 0));
+                }
+                // Consumer: acknowledge by copying the tail stage.
+                if v.value(tail_ack) != v.value(c_last) {
+                    acts.push(act(tail_ack, v.value(c_last), 0));
+                }
+                acts
+            }),
+        },
+    )
+    .with_stg(stg, vec![(sreq, req), (sack, c0)])
+}
+
+/// Design 2: the bundled-data pipeline under a bundling-disciplined
+/// environment. Clean of errors, but every capture flip-flop carries a
+/// pinned `TA001` timing-assumption warning — the static trace of the
+/// assumption Fig. 6's Vdd floor comes from.
+fn bundled(stages: usize) -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let p = BundledPipeline::build(&mut nl, stages, 2, 1.5, "bd");
+    let data = p.data_in()[0];
+    let req = p.req_in();
+    let ack = p.ack();
+    let mut circuit = Circuit::new(
+        "bundled",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |state, v: &EnvView<'_>| {
+                match state {
+                    // At rest: wiggle data freely (bundling: only while
+                    // the request is low and the logic has settled) or
+                    // launch a request.
+                    0 => {
+                        if v.quiescent() && !v.value(ack) {
+                            vec![act(data, !v.value(data), 0), act(req, true, 1)]
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                    // Launched: withdraw the request once acknowledged.
+                    _ => {
+                        if v.value(ack) {
+                            vec![act(req, false, 0)]
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                }
+            }),
+        },
+    );
+    // Each stage's first logic inverter idles high (its data input idles
+    // low); see `counter` for why the initial state must be consistent.
+    for s in 0..stages {
+        let l0 = circuit
+            .netlist
+            .find_net(&format!("bd.s{s}.b0.l0"))
+            .expect("bundled logic net exists");
+        circuit.initial.push((l0, true));
+    }
+    circuit
+}
+
+/// Fig. 5: SRAM read-completion control. The word line is gated by a
+/// C-element rendezvous of the request and the (inverted) bit-line
+/// completion, so the acknowledge genuinely *follows* the read — the
+/// speed-independent alternative to the broken fixture's clocked read.
+/// Checked against the four-phase handshake STG on (req, done).
+fn sram_control() -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let req = nl.input("sram.req");
+    let cell = nl.input("sram.cell");
+    let ncell = nl.gate(GateKind::Inv, &[cell], "sram.ncell");
+    let wl = nl.gate(GateKind::CElement, &[req, req], "sram.wl");
+    let bt = nl.gate(GateKind::And, &[wl, cell], "sram.bit.t");
+    let bf = nl.gate(GateKind::And, &[wl, ncell], "sram.bit.f");
+    let done = nl.gate(GateKind::Or, &[bt, bf], "sram.done");
+    let nack = nl.gate(GateKind::Inv, &[done], "sram.nack");
+    nl.connect_feedback(wl, nack);
+    nl.mark_output(bt);
+    nl.mark_output(bf);
+    nl.mark_output(done);
+    let (stg, sreq, sack) = Stg::four_phase_handshake();
+    Circuit::new(
+        "sram",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| {
+                if !v.value(req) && !v.value(done) {
+                    vec![act(req, true, 0)]
+                } else if v.value(req) && v.value(done) {
+                    vec![act(req, false, 0)]
+                } else {
+                    Vec::new()
+                }
+            }),
+        },
+    )
+    .with_initial(cell, true)
+    .with_stg(stg, vec![(sreq, req), (sack, done)])
+}
+
+/// The DIMS dual-rail ripple-carry adder under a 4-phase dual-rail
+/// environment: fill with codewords (free rail choice per operand) until
+/// completion, then drain to spacer until completion clears.
+fn adder() -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let add = DualRailAdder::build(&mut nl, 1, "add");
+    let done = add.done();
+    let a = DualRail {
+        t: nl.find_net("add.a0.t").expect("adder input rail"),
+        f: nl.find_net("add.a0.f").expect("adder input rail"),
+    };
+    let b = DualRail {
+        t: nl.find_net("add.b0.t").expect("adder input rail"),
+        f: nl.find_net("add.b0.f").expect("adder input rail"),
+    };
+    Circuit::new(
+        "adder",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| {
+                let mut acts = Vec::new();
+                if !v.value(done) {
+                    // Fill: offer either rail of each still-spacer
+                    // operand. DIMS input completion guarantees `done`
+                    // stays low until every operand is valid.
+                    for pair in [a, b] {
+                        if !v.value(pair.t) && !v.value(pair.f) {
+                            acts.push(act(pair.t, true, 0));
+                            acts.push(act(pair.f, true, 0));
+                        }
+                    }
+                } else {
+                    // Drain: lower whatever is high; `done` cannot fall
+                    // until every rail is back at spacer.
+                    for rail in [a.t, a.f, b.t, b.f] {
+                        if v.value(rail) {
+                            acts.push(act(rail, false, 0));
+                        }
+                    }
+                }
+                acts
+            }),
+        },
+    )
+}
+
+/// The full built-in suite, in a fixed order. `smoke` shrinks the
+/// parametric circuits (fewer stages/bits) for a fast CI gate; the rule
+/// coverage is identical.
+pub fn builtin_suite(smoke: bool) -> Vec<Circuit<'static>> {
+    let (cnt_bits, wchb_stages, mp_stages, bd_stages) =
+        if smoke { (2, 1, 2, 1) } else { (3, 2, 3, 2) };
+    vec![
+        counter(cnt_bits),
+        wchb(wchb_stages),
+        micropipeline(mp_stages),
+        bundled(bd_stages),
+        sram_control(),
+        adder(),
+    ]
+}
+
+/// Deliberately broken circuits with the **exact** distinct rule set
+/// each must trigger (golden data for tests and `emc-lint`'s
+/// self-check).
+pub fn broken_suite() -> Vec<(Circuit<'static>, &'static [&'static str])> {
+    vec![
+        (hazard_glitch(), &["SI001"]),
+        (dual_rail_short(), &["CD001", "DR001", "DR002"]),
+        (unbundled_sram(), &["SI001", "TA001"]),
+        (structural_mess(), &["NET001", "NET002", "NET003"]),
+    ]
+}
+
+/// `y = a ∧ ¬a` — the textbook static hazard: the inverter firing
+/// disables the excited AND (and the free-running input disables the
+/// inverter). Not speed-independent under any delay assignment.
+fn hazard_glitch() -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let a = nl.input("a");
+    let na = nl.gate(GateKind::Inv, &[a], "na");
+    let y = nl.gate(GateKind::And, &[a, na], "y");
+    nl.mark_output(y);
+    Circuit::new(
+        "hazard_glitch",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| vec![act(a, !v.value(a), 0)]),
+        },
+    )
+}
+
+/// Both rails of a "dual-rail" output wired to the same request: the
+/// codeword (1,1) is reachable, valid codewords are overwritten without
+/// a spacer, and no completion detector observes the pair.
+fn dual_rail_short() -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let req = nl.input("req");
+    let t = nl.gate(GateKind::Buf, &[req], "x.t");
+    let f = nl.gate(GateKind::Buf, &[req], "x.f");
+    nl.mark_output(t);
+    nl.mark_output(f);
+    Circuit::new(
+        "dual_rail_short",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| {
+                // Well-behaved driver (waits for both buffers) so the
+                // findings are purely the dual-rail protocol ones.
+                if v.value(t) == v.value(req) && v.value(f) == v.value(req) {
+                    vec![act(req, !v.value(req), 0)]
+                } else {
+                    Vec::new()
+                }
+            }),
+        },
+    )
+}
+
+/// Fig. 5's cautionary tale: an SRAM read latched by the *raw* request
+/// (no matched delay, no completion) — the data path races the clock
+/// edge, which surfaces as persistence violations on the data logic,
+/// plus the flip-flop's standing timing-assumption warning.
+fn unbundled_sram() -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let req = nl.input("req");
+    let cell = nl.input("cell");
+    let sense = nl.gate(GateKind::Buf, &[req], "sense");
+    let bit = nl.gate(GateKind::And, &[sense, cell], "bit");
+    let q = nl.gate(GateKind::Dff, &[req, bit], "q");
+    nl.mark_output(q);
+    Circuit::new(
+        "unbundled_sram",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| vec![act(req, !v.value(req), 0)]),
+        },
+    )
+    .with_initial(cell, true)
+}
+
+/// Every structural rule at once: a combinational loop, a multiply-
+/// driven net (modelled short) and the floating net the short leaves
+/// behind.
+fn structural_mess() -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let a = nl.input("a");
+    let x = nl.gate(GateKind::And, &[a, a], "x");
+    let y = nl.gate(GateKind::Inv, &[x], "y");
+    nl.connect_feedback(x, y);
+    nl.mark_output(y);
+    let orphan = nl.gate(GateKind::Buf, &[a], "orphan");
+    let short = nl.driver_of(orphan).expect("buffer just built");
+    nl.rewire_output(short, x);
+    Circuit::new("structural_mess", nl, Environment::inert())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Verifier;
+
+    #[test]
+    fn all_builtin_circuits_are_clean() {
+        let verifier = Verifier::new();
+        for circuit in builtin_suite(true) {
+            let report = verifier.verify(&circuit);
+            assert!(
+                report.is_clean(),
+                "{} not clean: {:#?}",
+                report.circuit,
+                report.diagnostics
+            );
+            assert!(report.exhaustive, "{} exploration capped", report.circuit);
+        }
+    }
+
+    #[test]
+    fn only_bundled_carries_warnings() {
+        let verifier = Verifier::new();
+        for circuit in builtin_suite(true) {
+            let report = verifier.verify(&circuit);
+            let expected: &[&str] = if report.circuit == "bundled" {
+                &["TA001"]
+            } else {
+                &[]
+            };
+            assert_eq!(
+                report.distinct_rules(),
+                expected,
+                "{} rules: {:#?}",
+                report.circuit,
+                report.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn full_suite_is_clean_too() {
+        let verifier = Verifier::new();
+        for circuit in builtin_suite(false) {
+            let report = verifier.verify(&circuit);
+            assert!(
+                report.is_clean() && report.exhaustive,
+                "{}: {:#?}",
+                report.circuit,
+                report.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn broken_fixtures_trigger_exactly_their_rules() {
+        let verifier = Verifier::new();
+        for (circuit, expected) in broken_suite() {
+            let report = verifier.verify(&circuit);
+            assert_eq!(
+                report.distinct_rules(),
+                *expected,
+                "{}: {:#?}",
+                report.circuit,
+                report.diagnostics
+            );
+        }
+    }
+}

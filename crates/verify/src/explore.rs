@@ -1,0 +1,649 @@
+//! Exhaustive state-graph exploration under the unbounded-gate-delay
+//! (speed-independent) model.
+//!
+//! A state assigns a Boolean to every net, a *pending* event to every
+//! edge-triggered gate, and a small control byte to the environment. An
+//! internal gate is **excited** when its next-state function disagrees
+//! with its present output; excited gates and environment actions are the
+//! enabled transitions, and any interleaving of them may occur — delays
+//! are unbounded, so the explorer tries them all (breadth-first, with an
+//! exact state cap like `emc_petri::analysis::reachable_markings`).
+//!
+//! Two families of rules are decided on the fly:
+//!
+//! * **output persistence** (`SI001`): an excited gate may only lose its
+//!   excitation by firing. If some other transition disables (or
+//!   retargets) it, the gate can glitch under the wrong delay assignment
+//!   — the state-graph definition of a hazard, the property the paper's
+//!   Design 1 circuits owe their "correct at any Vdd" behaviour to.
+//!   Edge-triggered primitives are covered by the companion *overrun*
+//!   check: a second arming edge while an event is still pending means an
+//!   event was lost.
+//! * **dual-rail protocol** (`DR001`/`DR002`): no reachable state may
+//!   assert both rails of a discovered pair, and a codeword must return
+//!   to spacer before the pair changes again.
+
+use std::collections::{HashSet, VecDeque};
+
+use emc_netlist::{Diagnostic, GateId, GateKind, NetId, Netlist, Severity};
+
+use crate::rails::{discover_rail_pairs, RailPair};
+
+/// One global state of the closed circuit–environment system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Net values, indexed by [`NetId::index`].
+    pub values: Vec<bool>,
+    /// Per-gate pending event: `Some(target)` when an edge-triggered
+    /// gate has been armed but not yet fired. `None` for level gates.
+    pub pending: Vec<Option<bool>>,
+    /// Environment control state (phase of its protocol machine).
+    pub env: u8,
+}
+
+/// One enabled transition: a net taking a new value, caused by a gate
+/// firing (`gate: Some`) or by the environment (`gate: None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// The gate that fires, or `None` for an environment action.
+    pub gate: Option<GateId>,
+    /// The net that changes.
+    pub net: NetId,
+    /// Its new value.
+    pub value: bool,
+    /// Environment state after the transition (unchanged for gates).
+    pub env_next: u8,
+}
+
+/// One environment action: drive `net` to `value`, move to state `next`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvAction {
+    /// The input net to drive (must be an `Input` gate's output).
+    pub net: NetId,
+    /// The level to drive it to (actions restating the current level are
+    /// ignored).
+    pub value: bool,
+    /// The environment state after the action.
+    pub next: u8,
+}
+
+/// What the environment closure may observe of the current state.
+pub struct EnvView<'v> {
+    values: &'v [bool],
+    quiescent: bool,
+}
+
+impl EnvView<'_> {
+    /// The current value of `net`.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// `true` when no internal gate is excited or pending — the circuit
+    /// has settled. Environments gated on this model *fundamental-mode*
+    /// (or bundling-discipline) operation; fully speed-independent
+    /// environments never need it.
+    pub fn quiescent(&self) -> bool {
+        self.quiescent
+    }
+}
+
+/// The environment half of a closed system: an explicit-state protocol
+/// machine offering input actions as a function of its state and the
+/// visible net values.
+pub struct Environment<'a> {
+    /// Initial control state.
+    pub initial: u8,
+    /// Enabled actions in a given state. Must be deterministic in its
+    /// arguments (same state ⇒ same action list) for reproducible
+    /// exploration.
+    pub step: StepFn<'a>,
+}
+
+/// The step closure of an [`Environment`].
+pub type StepFn<'a> = Box<dyn Fn(u8, &EnvView<'_>) -> Vec<EnvAction> + Sync + 'a>;
+
+impl Environment<'_> {
+    /// An environment that never acts (for closed or structural-only
+    /// circuits).
+    pub fn inert() -> Self {
+        Environment {
+            initial: 0,
+            step: Box::new(|_, _| Vec::new()),
+        }
+    }
+}
+
+/// Outcome of one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Deduplicated findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// `false` if the state cap stopped the search early.
+    pub exhaustive: bool,
+}
+
+/// Collects diagnostics deduplicated by `(rule, anchor)` so a hazard in a
+/// tight protocol loop reports once, not once per reachable state.
+struct Sink {
+    diags: Vec<Diagnostic>,
+    seen: HashSet<(&'static str, usize)>,
+}
+
+impl Sink {
+    fn new() -> Self {
+        Self {
+            diags: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    fn push(&mut self, anchor: usize, d: Diagnostic) {
+        if self.seen.insert((d.rule, anchor)) {
+            self.diags.push(d);
+        }
+    }
+}
+
+/// The state-graph explorer for one circuit + environment pair.
+pub struct Explorer<'a> {
+    netlist: &'a Netlist,
+    env: &'a Environment<'a>,
+    initial: &'a [(NetId, bool)],
+    state_cap: usize,
+    pairs: Vec<RailPair>,
+    /// Net index → index into `pairs`, for O(1) protocol checks.
+    pair_of_net: Vec<Option<usize>>,
+}
+
+impl<'a> Explorer<'a> {
+    /// Builds an explorer over `netlist` closed by `env`, with `initial`
+    /// net-value overrides (constants are set automatically) and an exact
+    /// cap on visited states.
+    pub fn new(
+        netlist: &'a Netlist,
+        env: &'a Environment<'a>,
+        initial: &'a [(NetId, bool)],
+        state_cap: usize,
+    ) -> Self {
+        let pairs = discover_rail_pairs(netlist);
+        let mut pair_of_net = vec![None; netlist.net_count()];
+        for (i, p) in pairs.iter().enumerate() {
+            pair_of_net[p.t.index()] = Some(i);
+            pair_of_net[p.f.index()] = Some(i);
+        }
+        Self {
+            netlist,
+            env,
+            initial,
+            state_cap,
+            pairs,
+            pair_of_net,
+        }
+    }
+
+    /// The netlist under analysis.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The initial state: all nets low except constants-1 and the
+    /// explicit overrides; nothing pending; the environment in its
+    /// initial control state.
+    pub fn initial_state(&self) -> State {
+        let mut values = vec![false; self.netlist.net_count()];
+        for (_, g) in self.netlist.iter_gates() {
+            if g.kind() == GateKind::Const1 {
+                values[g.output().index()] = true;
+            }
+        }
+        for &(net, v) in self.initial {
+            values[net.index()] = v;
+        }
+        State {
+            values,
+            pending: vec![None; self.netlist.gate_count()],
+            env: self.env.initial,
+        }
+    }
+
+    fn eval_gate(&self, gate: GateId, s: &State) -> bool {
+        let g = self.netlist.gate_ref(gate);
+        let ins: Vec<bool> = g.inputs().iter().map(|n| s.values[n.index()]).collect();
+        g.kind().eval(&ins, s.values[g.output().index()])
+    }
+
+    /// Enabled internal transitions: excited level gates and armed
+    /// edge-triggered gates, in gate order (deterministic).
+    pub fn internal_enabled(&self, s: &State) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for (gid, g) in self.netlist.iter_gates() {
+            if g.kind().is_source() {
+                continue;
+            }
+            if matches!(g.kind(), GateKind::Toggle | GateKind::Dff) {
+                if let Some(target) = s.pending[gid.index()] {
+                    out.push(Transition {
+                        gate: Some(gid),
+                        net: g.output(),
+                        value: target,
+                        env_next: s.env,
+                    });
+                }
+            } else {
+                let cur = s.values[g.output().index()];
+                let target = self.eval_gate(gid, s);
+                if target != cur {
+                    out.push(Transition {
+                        gate: Some(gid),
+                        net: g.output(),
+                        value: target,
+                        env_next: s.env,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Enabled environment transitions (`quiescent` is precomputed by
+    /// the caller from [`Explorer::internal_enabled`]).
+    pub fn env_enabled(&self, s: &State, quiescent: bool) -> Vec<Transition> {
+        let view = EnvView {
+            values: &s.values,
+            quiescent,
+        };
+        (self.env.step)(s.env, &view)
+            .into_iter()
+            .filter(|a| s.values[a.net.index()] != a.value)
+            .map(|a| Transition {
+                gate: None,
+                net: a.net,
+                value: a.value,
+                env_next: a.next,
+            })
+            .collect()
+    }
+
+    /// Fires `t` in `s`: the successor state plus any edge-triggered
+    /// gates that **overran** (received an arming edge while an event was
+    /// still pending — a lost event).
+    pub fn apply(&self, s: &State, t: &Transition) -> (State, Vec<GateId>) {
+        let mut next = s.clone();
+        next.values[t.net.index()] = t.value;
+        next.env = t.env_next;
+        if let Some(g) = t.gate {
+            if matches!(
+                self.netlist.gate_ref(g).kind(),
+                GateKind::Toggle | GateKind::Dff
+            ) {
+                next.pending[g.index()] = None;
+            }
+        }
+        let mut overruns = Vec::new();
+        for h in self.netlist.fanout(t.net) {
+            let gate = self.netlist.gate_ref(h);
+            match gate.kind() {
+                // Toggle arms on a rising edge of its (only) input; two
+                // arming edges before a fire cancel out — and lose an
+                // event, which the caller reports.
+                GateKind::Toggle if gate.inputs()[0] == t.net && t.value => {
+                    if next.pending[h.index()].is_some() {
+                        overruns.push(h);
+                        next.pending[h.index()] = None;
+                    } else {
+                        let cur = next.values[gate.output().index()];
+                        next.pending[h.index()] = Some(!cur);
+                    }
+                }
+                // Dff captures `d` on the rising clock edge; a recapture
+                // supersedes an unfired one (last edge wins).
+                GateKind::Dff if gate.inputs()[0] == t.net && t.value => {
+                    let d = next.values[gate.inputs()[1].index()];
+                    let cur = next.values[gate.output().index()];
+                    next.pending[h.index()] = if d != cur { Some(d) } else { None };
+                }
+                _ => {}
+            }
+        }
+        (next, overruns)
+    }
+
+    fn pair_levels(&self, s: &State, p: &RailPair) -> (bool, bool) {
+        (s.values[p.t.index()], s.values[p.f.index()])
+    }
+
+    /// Explores every reachable state, checking output persistence and
+    /// the dual-rail protocol. The state bound is exact (at most
+    /// `state_cap` states are ever recorded); hitting it yields an
+    /// `XPL001` note and `exhaustive = false`.
+    pub fn explore(&self) -> ExploreOutcome {
+        let mut sink = Sink::new();
+        let initial = self.initial_state();
+        let mut seen: HashSet<State> = HashSet::new();
+        let mut queue: VecDeque<State> = VecDeque::new();
+        let mut capped = self.state_cap == 0;
+        if !capped {
+            self.check_pair_invariants(None, &initial, &mut sink);
+            seen.insert(initial.clone());
+            queue.push_back(initial);
+        }
+
+        'bfs: while let Some(s) = queue.pop_front() {
+            let internal = self.internal_enabled(&s);
+            let env = self.env_enabled(&s, internal.is_empty());
+            // Persistence candidates: excited *level* gates. Pending
+            // edge-triggered events survive anything but their own fire
+            // (overruns are flagged separately), so they are exempt.
+            let persistent: Vec<&Transition> = internal
+                .iter()
+                .filter(|t| {
+                    let g = t.gate.expect("internal transitions carry a gate");
+                    !matches!(
+                        self.netlist.gate_ref(g).kind(),
+                        GateKind::Toggle | GateKind::Dff
+                    )
+                })
+                .collect();
+
+            for t in internal.iter().chain(env.iter()) {
+                let (next, overruns) = self.apply(&s, t);
+                for h in overruns {
+                    let out = self.netlist.gate_ref(h).output();
+                    sink.push(
+                        h.index(),
+                        Diagnostic::new(
+                            "SI001",
+                            Severity::Error,
+                            format!(
+                                "edge-triggered gate {h} ('{}') received a second arming \
+                                 edge before firing — an event was lost",
+                                self.netlist.net_name(out)
+                            ),
+                        )
+                        .at_gate(h)
+                        .at_net(out),
+                    );
+                }
+                for p in &persistent {
+                    let g = p.gate.expect("internal transitions carry a gate");
+                    if t.gate == Some(g) {
+                        continue;
+                    }
+                    if self.eval_gate(g, &next) != p.value {
+                        sink.push(
+                            g.index(),
+                            Diagnostic::new(
+                                "SI001",
+                                Severity::Error,
+                                format!(
+                                    "gate {g} ('{}') excited to {} was disabled by {} \
+                                     ('{}') firing — output persistence violated (hazard)",
+                                    self.netlist.net_name(p.net),
+                                    u8::from(p.value),
+                                    t.gate
+                                        .map(|x| x.to_string())
+                                        .unwrap_or_else(|| "the environment".to_owned()),
+                                    self.netlist.net_name(t.net),
+                                ),
+                            )
+                            .at_gate(g)
+                            .at_net(p.net),
+                        );
+                    }
+                }
+                self.check_pair_invariants(Some((&s, t.net)), &next, &mut sink);
+                if !seen.contains(&next) {
+                    if seen.len() >= self.state_cap {
+                        capped = true;
+                        break 'bfs;
+                    }
+                    seen.insert(next.clone());
+                    queue.push_back(next);
+                }
+            }
+        }
+
+        if capped {
+            sink.push(
+                usize::MAX,
+                Diagnostic::new(
+                    "XPL001",
+                    Severity::Info,
+                    format!(
+                        "state-graph exploration capped at {} states — results are partial",
+                        self.state_cap
+                    ),
+                ),
+            );
+        }
+        ExploreOutcome {
+            diagnostics: sink.diags,
+            states: seen.len(),
+            exhaustive: !capped,
+        }
+    }
+
+    /// Dual-rail invariants for the pair touched by the transition into
+    /// `next` (or every pair, for the initial state).
+    fn check_pair_invariants(&self, step: Option<(&State, NetId)>, next: &State, sink: &mut Sink) {
+        let check_one = |i: usize, sink: &mut Sink| {
+            let p = &self.pairs[i];
+            let (t, f) = self.pair_levels(next, p);
+            if t && f {
+                sink.push(
+                    p.t.index(),
+                    Diagnostic::new(
+                        "DR001",
+                        Severity::Error,
+                        format!(
+                            "both rails of dual-rail signal '{}' are asserted in a \
+                             reachable state (illegal codeword)",
+                            p.name
+                        ),
+                    )
+                    .at_net(p.t),
+                );
+            }
+            if let Some((prev, _)) = step {
+                let (pt, pf) = self.pair_levels(prev, p);
+                if (pt ^ pf) && t && f {
+                    sink.push(
+                        p.f.index(),
+                        Diagnostic::new(
+                            "DR002",
+                            Severity::Error,
+                            format!(
+                                "dual-rail signal '{}' left a valid codeword without \
+                                 returning to the spacer (return-to-zero violated)",
+                                p.name
+                            ),
+                        )
+                        .at_net(p.f),
+                    );
+                }
+            }
+        };
+        match step {
+            Some((_, net)) => {
+                if let Some(i) = self.pair_of_net[net.index()] {
+                    check_one(i, sink);
+                }
+            }
+            None => {
+                for i in 0..self.pairs.len() {
+                    check_one(i, sink);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_netlist::GateKind;
+
+    /// `y = a AND (NOT a)` — the textbook static-1 hazard: firing the
+    /// inverter disables the excited AND.
+    fn glitch_circuit() -> (Netlist, NetId) {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let inv = nl.gate(GateKind::Inv, &[a], "na");
+        let y = nl.gate(GateKind::And, &[a, inv], "y");
+        nl.mark_output(y);
+        (nl, a)
+    }
+
+    fn flip_env(net: NetId) -> Environment<'static> {
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v| {
+                vec![EnvAction {
+                    net,
+                    value: !v.value(net),
+                    next: 0,
+                }]
+            }),
+        }
+    }
+
+    #[test]
+    fn persistence_violation_detected() {
+        let (nl, a) = glitch_circuit();
+        let env = flip_env(a);
+        let ex = Explorer::new(&nl, &env, &[], 1000);
+        let out = ex.explore();
+        assert!(out.exhaustive);
+        assert!(
+            out.diagnostics.iter().any(|d| d.rule == "SI001"),
+            "{:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn c_element_rendezvous_is_persistent() {
+        // c = C(a, b) with a well-behaved 4-phase environment: no rule
+        // fires and the handshake state space is tiny.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.gate(GateKind::CElement, &[a, b], "c");
+        nl.mark_output(c);
+        let env = Environment {
+            initial: 0,
+            step: Box::new(move |_, v| {
+                let mut acts = Vec::new();
+                for net in [a, b] {
+                    // Each input follows the C output: rise when both
+                    // low, fall when both high.
+                    if v.value(net) == v.value(c) {
+                        acts.push(EnvAction {
+                            net,
+                            value: !v.value(net),
+                            next: 0,
+                        });
+                    }
+                }
+                acts
+            }),
+        };
+        let ex = Explorer::new(&nl, &env, &[], 1000);
+        let out = ex.explore();
+        assert!(out.exhaustive);
+        assert_eq!(out.diagnostics, Vec::new());
+        assert!(out.states >= 8, "4-phase over two inputs: {}", out.states);
+    }
+
+    #[test]
+    fn both_rails_high_detected() {
+        let mut nl = Netlist::new();
+        let req = nl.input("req");
+        let t = nl.gate(GateKind::Buf, &[req], "x.t");
+        let f = nl.gate(GateKind::Buf, &[req], "x.f");
+        nl.mark_output(t);
+        nl.mark_output(f);
+        let env = flip_env(req);
+        let ex = Explorer::new(&nl, &env, &[], 1000);
+        let out = ex.explore();
+        let rules: Vec<&str> = out.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"DR001"), "{rules:?}");
+        assert!(rules.contains(&"DR002"), "{rules:?}");
+    }
+
+    #[test]
+    fn toggle_overrun_detected_under_free_running_input() {
+        // A free-running pulse may re-arm the toggle before it fires —
+        // exactly the timing assumption a ripple stage hides.
+        let mut nl = Netlist::new();
+        let p = nl.input("p");
+        let q = nl.gate(GateKind::Toggle, &[p], "q");
+        nl.mark_output(q);
+        let env = flip_env(p);
+        let ex = Explorer::new(&nl, &env, &[], 1000);
+        let out = ex.explore();
+        assert!(
+            out.diagnostics.iter().any(|d| d.rule == "SI001"),
+            "{:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn toggle_with_completion_aware_env_is_clean() {
+        let mut nl = Netlist::new();
+        let p = nl.input("p");
+        let q = nl.gate(GateKind::Toggle, &[p], "q");
+        nl.mark_output(q);
+        let env = Environment {
+            initial: 0,
+            step: Box::new(move |_, v| {
+                if v.quiescent() {
+                    vec![EnvAction {
+                        net: p,
+                        value: !v.value(p),
+                        next: 0,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }),
+        };
+        let ex = Explorer::new(&nl, &env, &[], 1000);
+        let out = ex.explore();
+        assert!(out.exhaustive);
+        assert_eq!(out.diagnostics, Vec::new());
+    }
+
+    #[test]
+    fn state_cap_is_exact_and_noted() {
+        let (nl, a) = glitch_circuit();
+        let env = flip_env(a);
+        let ex = Explorer::new(&nl, &env, &[], 2);
+        let out = ex.explore();
+        assert!(!out.exhaustive);
+        assert!(out.states <= 2);
+        assert!(out.diagnostics.iter().any(|d| d.rule == "XPL001"));
+    }
+
+    #[test]
+    fn constants_initialised() {
+        let mut nl = Netlist::new();
+        let one = nl.constant(true, "one");
+        let zero = nl.constant(false, "zero");
+        let y = nl.gate(GateKind::And, &[one, zero], "y");
+        nl.mark_output(y);
+        let env = Environment::inert();
+        let ex = Explorer::new(&nl, &env, &[], 100);
+        let s = ex.initial_state();
+        assert!(s.values[one.index()]);
+        assert!(!s.values[zero.index()]);
+        assert!(!s.values[y.index()]);
+        let out = ex.explore();
+        assert!(out.exhaustive);
+        assert_eq!(out.diagnostics, Vec::new());
+    }
+}

@@ -55,7 +55,10 @@ fn main() {
     for (x, y) in [(0, 0), (255, 255), (200, 55), (128, 127)] {
         let deadline = Seconds(sim.now().0 + 10.0);
         let s = adder.add(&mut sim, x, y, deadline).expect("completes");
-        println!("  {x:>3} + {y:>3} = {s:>3}  {}", if s == x + y { "ok" } else { "WRONG" });
+        println!(
+            "  {x:>3} + {y:>3} = {s:>3}  {}",
+            if s == x + y { "ok" } else { "WRONG" }
+        );
     }
     println!();
     println!(

@@ -6,7 +6,7 @@
 //! cargo run --example harvester_node
 //! ```
 
-use energy_modulated::core::{HolisticExperiment};
+use energy_modulated::core::HolisticExperiment;
 use energy_modulated::power::{
     DcDcConverter, PerturbObserve, PowerChain, StorageCap, VibrationHarvester,
 };
@@ -30,10 +30,7 @@ fn main() {
         mppt.observe(p);
     }
     let tuned = Hertz(mppt.operating_point());
-    println!(
-        "  converged near the 120 Hz resonance: {:.1} Hz\n",
-        tuned.0
-    );
+    println!("  converged near the 120 Hz resonance: {:.1} Hz\n", tuned.0);
 
     println!("== 2. The sensing loop steers the DC-DC output (Fig. 8) ==");
     let chain = PowerChain::new(
@@ -91,6 +88,8 @@ fn main() {
             adaptive.completions_per_joule / fixed.completions_per_joule
         );
     } else {
-        println!("  -> the power-adaptive system completes work where the fixed design completes none");
+        println!(
+            "  -> the power-adaptive system completes work where the fixed design completes none"
+        );
     }
 }

@@ -91,6 +91,10 @@ fn main() {
         ctl.threshold().0 * 1e3
     );
     for v in [0.25, 0.4, 0.6, 1.0] {
-        println!("  at {:.2} V the controller selects: {}", v, ctl.choose(Volts(v)));
+        println!(
+            "  at {:.2} V the controller selects: {}",
+            v,
+            ctl.choose(Volts(v))
+        );
     }
 }

@@ -58,7 +58,11 @@ fn main() {
         sim.schedule_input(net, Seconds(t_ns * 1e-9), v);
     }
     sim.run_until(Seconds(600e-9));
-    println!("  {} transitions recorded, {} hazards", sim.trace().len(), sim.hazards().len());
+    println!(
+        "  {} transitions recorded, {} hazards",
+        sim.trace().len(),
+        sim.hazards().len()
+    );
 
     println!();
     println!("== 4. Conformance: is the waveform a word of the spec? ==");
@@ -74,7 +78,11 @@ fn main() {
             } else {
                 c_sig
             };
-            let pol = if e.value { Polarity::Plus } else { Polarity::Minus };
+            let pol = if e.value {
+                Polarity::Plus
+            } else {
+                Polarity::Minus
+            };
             (sig, pol)
         })
         .collect();
@@ -84,12 +92,19 @@ fn main() {
     println!();
     println!(
         "  spec.accepts(word) = {}",
-        if spec.accepts(&word) { "YES — the circuit implements its contract" } else { "NO" }
+        if spec.accepts(&word) {
+            "YES — the circuit implements its contract"
+        } else {
+            "NO"
+        }
     );
 
     println!();
     println!("== Bonus: the spec as Graphviz ==");
     let dot = spec.net().to_dot();
-    println!("  ({} bytes of dot; pipe to `dot -Tpng` to draw)", dot.len());
+    println!(
+        "  ({} bytes of dot; pipe to `dot -Tpng` to draw)",
+        dot.len()
+    );
     assert!(spec.accepts(&word), "conformance must hold");
 }

@@ -23,6 +23,7 @@
 //! | [`prng`] | `emc-prng` | vendored splitmix64 / xoshiro256++ |
 //! | [`sched`] | `emc-sched` | schedulers, CTMC analysis, power games |
 //! | [`core`] | `emc-core` | QoS curves, hybrid control, the holistic loop |
+//! | [`verify`] | `emc-verify` | speed-independence checker and netlist lint |
 //!
 //! # Examples
 //!
@@ -50,3 +51,4 @@ pub use emc_sensors as sensors;
 pub use emc_sim as sim;
 pub use emc_sram as sram;
 pub use emc_units as units;
+pub use emc_verify as verify;

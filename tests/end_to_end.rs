@@ -4,9 +4,9 @@
 
 use energy_modulated::core::qos::{measure_pipeline_qos, DesignStyle};
 use energy_modulated::device::{DeviceModel, SramLogicCalibration};
+use energy_modulated::netlist::Netlist;
 use energy_modulated::selftimed::{DualRailPipeline, SelfTimedOscillator, ToggleRippleCounter};
 use energy_modulated::sensors::{ChargeToDigitalConverter, ReferenceFreeSensor};
-use energy_modulated::netlist::Netlist;
 use energy_modulated::sim::{Simulator, SupplyKind};
 use energy_modulated::sram::{Sram, SramConfig, TimingDiscipline};
 use energy_modulated::units::{Farads, Hertz, Seconds, Volts, Waveform};

@@ -15,7 +15,10 @@ fn adder_exports_verilog_dot_and_vcd() {
     // Verilog: every C-element minterm cell appears, module is closed.
     let verilog = to_verilog(&nl, "dims_adder4");
     assert!(verilog.starts_with("module dims_adder4 ("));
-    assert!(verilog.matches("EMC_CELEM").count() > 16, "minterm cells missing");
+    assert!(
+        verilog.matches("EMC_CELEM").count() > 16,
+        "minterm cells missing"
+    );
     assert!(verilog.contains("endmodule"));
     // Every non-source gate appears exactly once as an instance.
     let instances = verilog.matches("\n  ").count();

@@ -101,7 +101,10 @@ fn dims_adder_fault_containment() {
     // 2 + 1 = 3: LSB sum is 1 — needs the stuck rail: must hang, not lie.
     let deadline = Seconds(sim.now().0 + 1e-3);
     let hung = adder.add(&mut sim, 2, 1, deadline);
-    assert_eq!(hung, None, "the fault must surface as a stall, not a wrong sum");
+    assert_eq!(
+        hung, None,
+        "the fault must surface as a stall, not a wrong sum"
+    );
 }
 
 /// Stuck-at on an oscillator freezes counting without corrupting the

@@ -59,5 +59,8 @@ fn fig04_dual_rail_counter_trace_is_pinned() {
 fn fig04_trace_digest_is_reproducible() {
     // The digest is a pure function of the run — two fresh simulators
     // agree. (Guards the golden constant against flakiness suspicions.)
-    assert_eq!(fig04_sim(5.0).trace().digest(), fig04_sim(5.0).trace().digest());
+    assert_eq!(
+        fig04_sim(5.0).trace().digest(),
+        fig04_sim(5.0).trace().digest()
+    );
 }

@@ -25,8 +25,12 @@ fn claim_fig5_anchors() {
 #[test]
 fn claim_sram_energy_numbers() {
     let mut sram = Sram::new(SramConfig::paper_1kbit());
-    let e1 = sram.write_at(Volts(1.0), 0, 1, TimingDiscipline::Completion).energy;
-    let e04 = sram.write_at(Volts(0.4), 0, 2, TimingDiscipline::Completion).energy;
+    let e1 = sram
+        .write_at(Volts(1.0), 0, 1, TimingDiscipline::Completion)
+        .energy;
+    let e04 = sram
+        .write_at(Volts(0.4), 0, 2, TimingDiscipline::Completion)
+        .energy;
     assert!((e1.0 * 1e12 - 5.8).abs() < 0.01, "E(1V) = {e1}");
     assert!((e04.0 * 1e12 - 1.9).abs() < 0.01, "E(0.4V) = {e04}");
     let (mep, _) = sram.energy_model().minimum_energy_point(

@@ -11,7 +11,10 @@ use energy_modulated::units::{Seconds, Waveform};
 /// Converts a trace over two nets into an STG edge word.
 fn edge_word(
     sim: &Simulator,
-    pairs: &[(energy_modulated::netlist::NetId, energy_modulated::petri::SignalId)],
+    pairs: &[(
+        energy_modulated::netlist::NetId,
+        energy_modulated::petri::SignalId,
+    )],
 ) -> Vec<(energy_modulated::petri::SignalId, Polarity)> {
     sim.trace()
         .entries()
@@ -20,7 +23,11 @@ fn edge_word(
             pairs.iter().find(|(net, _)| *net == e.net).map(|(_, sig)| {
                 (
                     *sig,
-                    if e.value { Polarity::Plus } else { Polarity::Minus },
+                    if e.value {
+                        Polarity::Plus
+                    } else {
+                        Polarity::Minus
+                    },
                 )
             })
         })
