@@ -1,0 +1,29 @@
+//! Verifier explorer benchmarks: state-graph throughput on the built-in
+//! suite's heavier circuits.
+
+use emc_bench::harness::Criterion;
+use emc_bench::{criterion_group, criterion_main};
+use emc_verify::builtin::builtin_suite;
+use emc_verify::Explorer;
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_explore");
+    g.sample_size(10);
+
+    g.bench_function("builtin_suite_full", |b| {
+        let suite = builtin_suite(false);
+        b.iter(|| {
+            let mut states = 0usize;
+            for circuit in &suite {
+                let ex = Explorer::new(&circuit.netlist, &circuit.env, &circuit.initial, 200_000);
+                states += ex.explore().states;
+            }
+            std::hint::black_box(states)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_explorer);
+criterion_main!(benches);

@@ -1,0 +1,388 @@
+//! `emc-perf` — the hot-kernel throughput benchmark.
+//!
+//! Measures the three inner loops every experiment in this repository
+//! leans on, and emits one flat JSON object so successive PRs can record
+//! a perf trajectory (`BENCH_*.json`):
+//!
+//! * **events/sec** — the discrete-event simulator on a free-running
+//!   self-timed counter, at a constant rail and under an AC supply
+//!   (the Fig. 4 integration path);
+//! * **states/sec** — the speed-independence explorer over the full
+//!   built-in verification suite;
+//! * **campaign wall-clock** — the deterministic fan-out engine at 1, 2
+//!   and 8 worker threads, with the byte-identical-report invariant
+//!   checked on every run.
+//!
+//! Flags: `--smoke` (tiny workloads, self-checking, for the tier-1
+//! gate), `--seed N`, `--out PATH` (also write the JSON to a file),
+//! `--baseline PATH` (read a previous run's JSON and record speedups).
+//! Flag errors are panics, like the other campaign binaries.
+
+use std::time::Instant;
+
+use emc_async::{MullerPipeline, SelfTimedOscillator, ToggleRippleCounter};
+use emc_bench::{json_number, json_string};
+use emc_device::DeviceModel;
+use emc_netlist::{GateKind, Netlist};
+use emc_prng::{Rng, StdRng};
+use emc_sim::campaign::{run_campaign, CampaignConfig, RunContext, RunReport};
+use emc_sim::{Simulator, SupplyKind};
+use emc_units::{Hertz, Seconds, Waveform};
+use emc_verify::builtin::builtin_suite;
+use emc_verify::{Circuit, EnvAction, EnvView, Environment, Explorer};
+
+/// Workload sizes for one measurement pass.
+struct Sizes {
+    const_events: u64,
+    const_repeats: usize,
+    ac_events: u64,
+    ac_repeats: usize,
+    verify_repeats: usize,
+    verify_smoke_suite: bool,
+    campaign_jobs: usize,
+}
+
+impl Sizes {
+    fn full() -> Self {
+        Self {
+            const_events: 400_000,
+            const_repeats: 4,
+            ac_events: 60_000,
+            ac_repeats: 3,
+            verify_repeats: 3,
+            verify_smoke_suite: false,
+            campaign_jobs: 16,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            const_events: 2_000,
+            const_repeats: 1,
+            ac_events: 500,
+            ac_repeats: 1,
+            verify_repeats: 1,
+            verify_smoke_suite: true,
+            campaign_jobs: 4,
+        }
+    }
+}
+
+fn counting_rig(supply: SupplyKind) -> Simulator {
+    let mut nl = Netlist::new();
+    let osc = SelfTimedOscillator::build(&mut nl, "osc");
+    let _cnt = ToggleRippleCounter::build(&mut nl, 8, osc.output(), "cnt");
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", supply);
+    sim.assign_all(d);
+    osc.prime(&mut sim);
+    sim.start();
+    sim
+}
+
+/// Best-of-`repeats` event throughput: `(events, best_secs, events/sec)`.
+fn measure_sim(events: u64, repeats: usize, supply: impl Fn() -> SupplyKind) -> (u64, f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut fired_once = 0;
+    for _ in 0..repeats.max(1) {
+        let mut sim = counting_rig(supply());
+        let t0 = Instant::now();
+        let fired = sim.run_to_quiescence(events);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(fired > 0, "simulator workload fired no events");
+        fired_once = fired;
+        best = best.min(secs);
+    }
+    (fired_once, best, fired_once as f64 / best)
+}
+
+/// A deep Muller-pipeline circuit (the builtin micropipeline's shape,
+/// without its STG attachment) — the explorer's heavy workload: state
+/// count grows with depth, so the measurement is not dominated by
+/// per-pass setup.
+fn deep_pipeline(stages: usize) -> Circuit<'static> {
+    let mut nl = Netlist::new();
+    let p = MullerPipeline::build(&mut nl, stages, "mp");
+    let req = p.request();
+    let c0 = p.stages()[0];
+    let c_last = *p.stages().last().expect("non-empty pipeline");
+    let tail_ack = p.tail_ack();
+    Circuit::new(
+        "deep_pipeline",
+        nl,
+        Environment {
+            initial: 0,
+            step: Box::new(move |_, v: &EnvView<'_>| {
+                let mut acts = Vec::new();
+                if v.value(c0) == v.value(req) {
+                    acts.push(EnvAction {
+                        net: req,
+                        value: !v.value(req),
+                        next: 0,
+                    });
+                }
+                if v.value(tail_ack) != v.value(c_last) {
+                    acts.push(EnvAction {
+                        net: tail_ack,
+                        value: v.value(c_last),
+                        next: 0,
+                    });
+                }
+                acts
+            }),
+        },
+    )
+}
+
+/// Best-of-`repeats` explorer throughput over the built-in suite plus a
+/// deep pipeline: `(states per pass, best_secs, states/sec)`.
+fn measure_verify(repeats: usize, smoke_suite: bool) -> (usize, f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut states_once = 0;
+    let deep_stages = if smoke_suite { 4 } else { 10 };
+    for _ in 0..repeats.max(1) {
+        let mut suite = builtin_suite(smoke_suite);
+        suite.push(deep_pipeline(deep_stages));
+        let t0 = Instant::now();
+        let mut states = 0;
+        for circuit in &suite {
+            let ex = Explorer::new(&circuit.netlist, &circuit.env, &circuit.initial, 500_000);
+            let outcome = ex.explore();
+            assert!(outcome.exhaustive, "{} exploration capped", circuit.name);
+            states += outcome.states;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(states > 0, "explorer visited no states");
+        states_once = states;
+        best = best.min(secs);
+    }
+    (states_once, best, states_once as f64 / best)
+}
+
+/// One campaign run: a ring oscillator at the job's Vdd with a
+/// seed-derived burst of enable toggles (the same shape the determinism
+/// test suite pins), so the engine's seed plumbing is genuinely on the
+/// measured path.
+fn campaign_worker(vdd: &f64, ctx: &RunContext) -> RunReport {
+    let mut nl = Netlist::new();
+    let en = nl.input("en");
+    let g1 = nl.gate(GateKind::Nand, &[en, en], "g1");
+    let g2 = nl.gate(GateKind::Inv, &[g1], "g2");
+    let g3 = nl.gate(GateKind::Inv, &[g2], "g3");
+    nl.connect_feedback(g1, g3);
+    nl.mark_output(g3);
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(*vdd)));
+    sim.assign_all(d);
+    sim.set_initial(g1, true);
+    sim.set_initial(g3, true);
+    sim.watch(g3);
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let mut t = 0.0;
+    let mut level = true;
+    for _ in 0..8 {
+        sim.schedule_input(en, Seconds(t), level);
+        t += rng.gen_range(1e-9..10e-9);
+        level = !level;
+    }
+    sim.schedule_input(en, Seconds(t), true);
+    sim.start();
+    let stats = sim.run_until(Seconds(t + 40e-9));
+    RunReport::from_sim(&sim, ctx, stats, vec![*vdd, stats.fired as f64])
+}
+
+/// Campaign wall-clock at each thread count, with the determinism
+/// invariant asserted: `[(threads, wall_ms)]`.
+fn measure_campaign(jobs: usize, seed: u64) -> Vec<(usize, f64)> {
+    let vdds: Vec<f64> = (0..jobs).map(|i| 0.4 + 0.05 * i as f64).collect();
+    let mut rows = Vec::new();
+    let mut reference: Option<u64> = None;
+    for threads in [1usize, 2, 8] {
+        let cfg = CampaignConfig::new(seed).threads(threads);
+        let report = run_campaign(&vdds, &cfg, campaign_worker);
+        let digest = report.digest();
+        match reference {
+            None => reference = Some(digest),
+            Some(r) => assert_eq!(
+                r, digest,
+                "campaign digest diverged at {threads} threads — determinism broken"
+            ),
+        }
+        rows.push((threads, report.wall_clock.as_secs_f64() * 1e3));
+    }
+    rows
+}
+
+/// Extracts `"key": <number>` from a flat JSON object this binary wrote.
+fn json_f64_field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c == '\n')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 2011,
+        out: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                args.seed = v.parse().expect("--seed must be a u64");
+            }
+            "--out" => args.out = Some(it.next().expect("--out needs a path")),
+            "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a path")),
+            other => panic!("unknown flag {other} (try --smoke, --seed, --out, --baseline)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let sizes = if args.smoke {
+        Sizes::smoke()
+    } else {
+        Sizes::full()
+    };
+
+    println!(
+        "== emc-perf — hot-kernel throughput ({}) ==",
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    let (const_events, const_secs, const_rate) =
+        measure_sim(sizes.const_events, sizes.const_repeats, || {
+            SupplyKind::ideal(Waveform::constant(1.0))
+        });
+    println!("  sim  const 1.0 V : {const_events} events in {const_secs:.4} s  ({const_rate:.0} events/s)");
+
+    let (ac_events, ac_secs, ac_rate) = measure_sim(sizes.ac_events, sizes.ac_repeats, || {
+        SupplyKind::ideal_with_resolution(
+            Waveform::sine(0.4, 0.2, Hertz(1e6), 0.0).clamped(0.0, 2.0),
+            Seconds(1e-6 / 64.0),
+        )
+    });
+    println!("  sim  AC 0.4±0.2 V: {ac_events} events in {ac_secs:.4} s  ({ac_rate:.0} events/s)");
+
+    let (states, verify_secs, state_rate) =
+        measure_verify(sizes.verify_repeats, sizes.verify_smoke_suite);
+    println!(
+        "  verify explorer  : {states} states in {verify_secs:.4} s  ({state_rate:.0} states/s)"
+    );
+
+    let campaign = measure_campaign(sizes.campaign_jobs, args.seed);
+    for (threads, ms) in &campaign {
+        println!("  campaign {threads}t      : {ms:.2} ms  (digest invariant held)");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"id\": {},\n", json_string("emc-perf")));
+    json.push_str(&format!("  \"smoke\": {},\n", args.smoke));
+    json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    json.push_str(&format!(
+        "  \"sim_workload\": {},\n",
+        json_string("SelfTimedOscillator + 8-bit ToggleRippleCounter, run_to_quiescence")
+    ));
+    json.push_str(&format!(
+        "  \"sim_const_events\": {},\n",
+        json_number(const_events as f64)
+    ));
+    json.push_str(&format!(
+        "  \"sim_const_secs\": {},\n",
+        json_number(const_secs)
+    ));
+    json.push_str(&format!(
+        "  \"events_per_sec\": {},\n",
+        json_number(const_rate)
+    ));
+    json.push_str(&format!(
+        "  \"sim_ac_events\": {},\n",
+        json_number(ac_events as f64)
+    ));
+    json.push_str(&format!("  \"sim_ac_secs\": {},\n", json_number(ac_secs)));
+    json.push_str(&format!(
+        "  \"ac_events_per_sec\": {},\n",
+        json_number(ac_rate)
+    ));
+    json.push_str(&format!(
+        "  \"verify_workload\": {},\n",
+        json_string("builtin_suite state-graph exploration (exhaustive)")
+    ));
+    json.push_str(&format!(
+        "  \"verify_states\": {},\n",
+        json_number(states as f64)
+    ));
+    json.push_str(&format!(
+        "  \"verify_secs\": {},\n",
+        json_number(verify_secs)
+    ));
+    json.push_str(&format!(
+        "  \"states_per_sec\": {},\n",
+        json_number(state_rate)
+    ));
+    json.push_str(&format!(
+        "  \"campaign_runs\": {},\n",
+        json_number(sizes.campaign_jobs as f64)
+    ));
+    for (threads, ms) in &campaign {
+        json.push_str(&format!(
+            "  \"campaign_wall_ms_{threads}t\": {},\n",
+            json_number(*ms)
+        ));
+    }
+    json.push_str("  \"campaign_digests_equal\": true");
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base_events =
+            json_f64_field(&text, "events_per_sec").expect("baseline JSON lacks events_per_sec");
+        let base_states =
+            json_f64_field(&text, "states_per_sec").expect("baseline JSON lacks states_per_sec");
+        let sim_speedup = const_rate / base_events;
+        let verify_speedup = state_rate / base_states;
+        println!("  vs baseline      : sim {sim_speedup:.2}x, verify {verify_speedup:.2}x");
+        json.push_str(",\n");
+        json.push_str(&format!(
+            "  \"baseline_events_per_sec\": {},\n",
+            json_number(base_events)
+        ));
+        json.push_str(&format!(
+            "  \"baseline_states_per_sec\": {},\n",
+            json_number(base_states)
+        ));
+        json.push_str(&format!(
+            "  \"sim_speedup\": {},\n",
+            json_number(sim_speedup)
+        ));
+        json.push_str(&format!(
+            "  \"verify_speedup\": {}",
+            json_number(verify_speedup)
+        ));
+    }
+    json.push_str("\n}\n");
+
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("  [saved {path}]");
+    } else {
+        println!("{json}");
+    }
+}

@@ -117,7 +117,9 @@ impl Series {
 }
 
 /// JSON string escaping (quotes, backslashes, control characters).
-fn json_string(s: &str) -> String {
+/// Shared by every hand-rolled JSON writer in this crate (the workspace
+/// builds offline, with no serialisation framework).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -137,7 +139,7 @@ fn json_string(s: &str) -> String {
 
 /// JSON numbers: shortest round-trippable form; non-finite values map to
 /// `null` (JSON has no NaN/Infinity).
-fn json_number(v: f64) -> String {
+pub fn json_number(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `{}` on an integral f64 prints "1", which JSON would re-read

@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use crate::graph::NetId;
+
 /// The primitive gate alphabet.
 ///
 /// Most kinds are ordinary combinational gates; [`GateKind::CElement`] and
@@ -96,36 +98,44 @@ impl GateKind {
     /// Panics if `inputs.len()` violates [`Self::arity`] (netlist
     /// construction enforces arity, so this indicates internal misuse).
     pub fn eval(self, inputs: &[bool], current: bool) -> bool {
+        self.eval_indexed(inputs.len(), |i| inputs[i], current)
+    }
+
+    /// Next-state function over an indexed input reader — the shared core
+    /// of [`Self::eval`] and [`Self::eval_map`]. Taking a getter instead
+    /// of a slice lets callers that hold input *net ids* plus a value
+    /// table evaluate in place, without collecting the input levels into
+    /// a temporary `Vec<bool>` per event.
+    fn eval_indexed(self, n: usize, get: impl Fn(usize) -> bool, current: bool) -> bool {
         let (lo, hi) = self.arity();
         assert!(
-            inputs.len() >= lo && inputs.len() <= hi,
-            "{self} expects between {lo} and {hi} inputs, got {}",
-            inputs.len()
+            n >= lo && n <= hi,
+            "{self} expects between {lo} and {hi} inputs, got {n}"
         );
         match self {
             GateKind::Input => current,
             GateKind::Const0 => false,
             GateKind::Const1 => true,
-            GateKind::Buf => inputs[0],
-            GateKind::Inv => !inputs[0],
-            GateKind::And => inputs.iter().all(|&b| b),
-            GateKind::Nand => !inputs.iter().all(|&b| b),
-            GateKind::Or => inputs.iter().any(|&b| b),
-            GateKind::Nor => !inputs.iter().any(|&b| b),
-            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
-            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+            GateKind::Buf => get(0),
+            GateKind::Inv => !get(0),
+            GateKind::And => (0..n).all(&get),
+            GateKind::Nand => !(0..n).all(&get),
+            GateKind::Or => (0..n).any(&get),
+            GateKind::Nor => !(0..n).any(&get),
+            GateKind::Xor => (0..n).filter(|&i| get(i)).count() % 2 == 1,
+            GateKind::Xnor => (0..n).filter(|&i| get(i)).count() % 2 == 0,
             GateKind::CElement => {
-                if inputs.iter().all(|&b| b) {
+                if (0..n).all(&get) {
                     true
-                } else if inputs.iter().all(|&b| !b) {
+                } else if !(0..n).any(&get) {
                     false
                 } else {
                     current
                 }
             }
-            GateKind::Majority3 => inputs.iter().filter(|&&b| b).count() >= 2,
+            GateKind::Majority3 => (0..n).filter(|&i| get(i)).count() >= 2,
             GateKind::SrLatch => {
-                let (set, reset) = (inputs[0], inputs[1]);
+                let (set, reset) = (get(0), get(1));
                 if reset {
                     false
                 } else if set {
@@ -137,6 +147,44 @@ impl GateKind {
             // Edge-triggered kinds hold their state under pure level
             // evaluation; edges arrive through `eval_with_edge`.
             GateKind::Toggle | GateKind::Dff => current,
+        }
+    }
+
+    /// [`Self::eval`] reading input levels through `read` instead of a
+    /// pre-collected slice — the allocation-free form used by the
+    /// simulator and verifier hot loops, which hold a value table indexed
+    /// by net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity violations, like [`Self::eval`].
+    pub fn eval_map(self, inputs: &[NetId], read: impl Fn(NetId) -> bool, current: bool) -> bool {
+        self.eval_indexed(inputs.len(), |i| read(inputs[i]), current)
+    }
+
+    /// [`Self::eval_with_edge`] in the allocation-free form of
+    /// [`Self::eval_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity violations, like [`Self::eval`].
+    pub fn eval_map_with_edge(
+        self,
+        inputs: &[NetId],
+        read: impl Fn(NetId) -> bool,
+        current: bool,
+        edge: Option<(usize, bool)>,
+    ) -> bool {
+        match self {
+            GateKind::Toggle => match edge {
+                Some((0, true)) => !current,
+                _ => current,
+            },
+            GateKind::Dff => match edge {
+                Some((0, true)) => read(inputs[1]),
+                _ => current,
+            },
+            _ => self.eval_map(inputs, read, current),
         }
     }
 
@@ -380,6 +428,62 @@ mod tests {
             assert!(!k.to_string().is_empty());
             assert!(k.delay_factor() >= 0.0);
             assert!(k.input_load_factor() >= 0.0);
+        }
+    }
+
+    /// The allocation-free `eval_map`/`eval_map_with_edge` forms must
+    /// agree with the slice forms on every kind, width and state.
+    #[test]
+    fn eval_map_agrees_with_slice_eval() {
+        let mut nl = crate::graph::Netlist::new();
+        let nets: Vec<NetId> = (0..6).map(|i| nl.input(&format!("n{i}"))).collect();
+        let mut rng = StdRng::seed_from_u64(0xe7a1);
+        let widths = |k: GateKind| match k {
+            GateKind::Buf | GateKind::Inv | GateKind::Toggle => 1,
+            GateKind::SrLatch | GateKind::Dff => 2,
+            GateKind::Majority3 => 3,
+            _ => 0, // randomised 2..=6 below
+        };
+        for kind in [
+            GateKind::Buf,
+            GateKind::Inv,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::CElement,
+            GateKind::Majority3,
+            GateKind::SrLatch,
+            GateKind::Toggle,
+            GateKind::Dff,
+        ] {
+            for _ in 0..128 {
+                let w = match widths(kind) {
+                    0 => rng.gen_range(2..7usize),
+                    w => w,
+                };
+                let vals: Vec<bool> = (0..6).map(|_| rng.gen::<bool>()).collect();
+                let levels: Vec<bool> = nets[..w].iter().map(|n| vals[n.index()]).collect();
+                let cur = rng.gen::<bool>();
+                let read = |n: NetId| vals[n.index()];
+                assert_eq!(
+                    kind.eval_map(&nets[..w], read, cur),
+                    kind.eval(&levels, cur),
+                    "{kind} w={w} vals={levels:?} cur={cur}"
+                );
+                let edge = if rng.gen::<bool>() {
+                    Some((rng.gen_range(0..w), rng.gen::<bool>()))
+                } else {
+                    None
+                };
+                assert_eq!(
+                    kind.eval_map_with_edge(&nets[..w], read, cur, edge),
+                    kind.eval_with_edge(&levels, cur, edge),
+                    "{kind} w={w} vals={levels:?} cur={cur} edge={edge:?}"
+                );
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! The circuit graph: nets, gates, builder API and well-formedness checks.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::diag::{Diagnostic, Severity};
@@ -151,6 +151,22 @@ pub struct Netlist {
     net_names: Vec<String>,
     fanout: Vec<Vec<GateId>>,
     outputs: Vec<NetId>,
+    /// First net created under each name (duplicates never overwrite).
+    name_index: HashMap<String, NetId>,
+    /// CSR snapshot of the fanout lists, built by [`Netlist::freeze`] and
+    /// dropped by any structural mutation.
+    frozen: Option<Frozen>,
+}
+
+/// Flattened fanout adjacency: one contiguous [`GateId`] arena indexed by
+/// `offsets[net]..offsets[net + 1]`, plus the per-net input load totals,
+/// so the per-event hot path touches two cache lines instead of chasing a
+/// `Vec<Vec<_>>` and re-summing load factors.
+#[derive(Debug, Clone)]
+struct Frozen {
+    offsets: Vec<u32>,
+    arena: Vec<GateId>,
+    load_units: Vec<f64>,
 }
 
 impl Netlist {
@@ -164,6 +180,8 @@ impl Netlist {
         self.net_names.push(name.to_owned());
         self.net_driver.push(None);
         self.fanout.push(Vec::new());
+        // First-created-wins, matching the documented `find_net` contract.
+        self.name_index.entry(name.to_owned()).or_insert(id);
         id
     }
 
@@ -225,6 +243,7 @@ impl Netlist {
                 "input net {i} does not belong to this netlist (gate '{name}')"
             );
         }
+        self.frozen = None;
         let output = self.new_net(name);
         let gid = GateId(self.gates.len());
         self.gates.push(Gate {
@@ -251,6 +270,7 @@ impl Netlist {
     /// violate the driver's arity, or either net is foreign.
     pub fn connect_feedback(&mut self, target: NetId, net: NetId) {
         assert!(net.0 < self.net_names.len(), "foreign feedback net");
+        self.frozen = None;
         let gid = self.net_driver[target.0].expect("feedback target has no driver");
         let gate = &mut self.gates[gid.0];
         gate.inputs.push(net);
@@ -321,10 +341,11 @@ impl Netlist {
         &self.net_names[net.0]
     }
 
-    /// Looks a net up by its construction name. Linear scan; if several
-    /// nets share a name, the first created wins.
+    /// Looks a net up by its construction name, in O(1) via the name
+    /// index maintained at construction; if several nets share a name,
+    /// the first created wins.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.net_names.iter().position(|n| n == name).map(NetId)
+        self.name_index.get(name).copied()
     }
 
     /// The gate driving `net`, if any (inputs and constants drive their own
@@ -333,18 +354,63 @@ impl Netlist {
         self.net_driver[net.0]
     }
 
-    /// Gates whose inputs include `net`.
-    pub fn fanout(&self, net: NetId) -> Vec<GateId> {
-        self.fanout[net.0].clone()
+    /// Gates whose inputs include `net`, as a borrowed slice (from the
+    /// CSR arena when frozen, the per-net list otherwise).
+    pub fn fanout(&self, net: NetId) -> &[GateId] {
+        if let Some(f) = &self.frozen {
+            &f.arena[f.offsets[net.0] as usize..f.offsets[net.0 + 1] as usize]
+        } else {
+            &self.fanout[net.0]
+        }
     }
 
     /// Total input load presented by the fanout of `net`, in unit-inverter
-    /// gate capacitances (see [`GateKind::input_load_factor`]).
+    /// gate capacitances (see [`GateKind::input_load_factor`]). Cached by
+    /// [`Netlist::freeze`]; recomputed per call on an unfrozen netlist.
     pub fn fanout_load_units(&self, net: NetId) -> f64 {
+        if let Some(f) = &self.frozen {
+            return f.load_units[net.0];
+        }
         self.fanout[net.0]
             .iter()
             .map(|g| self.gates[g.0].kind.input_load_factor())
             .sum()
+    }
+
+    /// Builds the flattened CSR fanout snapshot and the per-net load
+    /// cache. Idempotent; any later structural mutation (adding a gate,
+    /// closing feedback, rewiring an output) drops the snapshot, and the
+    /// query methods transparently fall back to the builder lists. The
+    /// simulator and verifier freeze their netlists before entering
+    /// their event loops.
+    pub fn freeze(&mut self) {
+        if self.frozen.is_some() {
+            return;
+        }
+        let nets = self.net_names.len();
+        let mut offsets = Vec::with_capacity(nets + 1);
+        let mut arena = Vec::with_capacity(self.fanout.iter().map(Vec::len).sum());
+        let mut load_units = Vec::with_capacity(nets);
+        offsets.push(0u32);
+        for list in &self.fanout {
+            arena.extend_from_slice(list);
+            offsets.push(u32::try_from(arena.len()).expect("fanout arena fits in u32"));
+            load_units.push(
+                list.iter()
+                    .map(|g| self.gates[g.0].kind.input_load_factor())
+                    .sum(),
+            );
+        }
+        self.frozen = Some(Frozen {
+            offsets,
+            arena,
+            load_units,
+        });
+    }
+
+    /// Whether a [`Netlist::freeze`] snapshot is currently live.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
     }
 
     /// Histogram of gate kinds — the "transistor budget" report.
@@ -377,6 +443,7 @@ impl Netlist {
             !self.gates[gate.0].kind.is_source(),
             "cannot rewire a source gate's output"
         );
+        self.frozen = None;
         let old = self.gates[gate.0].output;
         if old == net {
             return;
@@ -679,6 +746,53 @@ mod tests {
         assert!(n.fanout(inv).contains(&n.driver_of(c).unwrap()));
         let g = n.gate_ref(n.driver_of(c).unwrap());
         assert_eq!(g.inputs().len(), 3);
+    }
+
+    #[test]
+    fn find_net_first_created_wins_on_duplicates() {
+        let mut n = Netlist::new();
+        let first = n.input("dup");
+        let a = n.input("a");
+        let second = n.gate(GateKind::Inv, &[a], "dup");
+        assert_ne!(first, second);
+        // The indexed lookup must preserve the original linear-scan
+        // contract: the first net created under a name wins, however
+        // many later nets reuse it.
+        assert_eq!(n.find_net("dup"), Some(first));
+        assert_eq!(n.find_net("a"), Some(a));
+        assert_eq!(n.find_net("absent"), None);
+    }
+
+    #[test]
+    fn freeze_preserves_queries_and_mutators_invalidate() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let c = n.gate(GateKind::CElement, &[a, a], "c");
+        let inv = n.gate(GateKind::Inv, &[c], "inv");
+        n.mark_output(inv);
+        let before: Vec<Vec<GateId>> = n.iter_nets().map(|x| n.fanout(x).to_vec()).collect();
+        let loads: Vec<f64> = n.iter_nets().map(|x| n.fanout_load_units(x)).collect();
+
+        n.freeze();
+        assert!(n.is_frozen());
+        n.freeze(); // idempotent
+        for (i, net) in n.iter_nets().enumerate() {
+            assert_eq!(n.fanout(net), before[i].as_slice());
+            assert!((n.fanout_load_units(net) - loads[i]).abs() < 1e-12);
+        }
+
+        // Every structural mutator must drop the snapshot, and the
+        // fallback path must see the mutation immediately.
+        n.connect_feedback(c, inv);
+        assert!(!n.is_frozen());
+        assert!(n.fanout(inv).contains(&n.driver_of(c).unwrap()));
+
+        n.freeze();
+        let z = n.gate(GateKind::Inv, &[inv], "z");
+        assert!(!n.is_frozen());
+        n.freeze();
+        n.rewire_output(n.driver_of(z).unwrap(), inv);
+        assert!(!n.is_frozen());
     }
 
     #[test]

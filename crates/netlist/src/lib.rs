@@ -28,7 +28,7 @@
 //! let y = n.gate(GateKind::CElement, &[a, b], "y");
 //! n.mark_output(y);
 //! n.check().unwrap();
-//! assert_eq!(n.fanout(a), vec![n.driver_of(y).unwrap()]);
+//! assert_eq!(n.fanout(a), [n.driver_of(y).unwrap()]);
 //! ```
 
 #![forbid(unsafe_code)]

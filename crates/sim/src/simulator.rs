@@ -1,11 +1,12 @@
 //! The event-driven simulation engine.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use emc_device::DeviceModel;
 use emc_netlist::{GateId, GateKind, NetId, Netlist};
-use emc_units::{Farads, Joules, Seconds, Volts};
+use emc_units::{Farads, Joules, Seconds, Volts, Watts};
 
 use crate::delay::{completion_time, Completion};
 use crate::domain::{DomainId, PowerDomain, SupplyKind};
@@ -142,7 +143,22 @@ pub struct Simulator {
     /// Number of integration-resolution steps per stall-continuation
     /// window.
     window_steps: f64,
+    /// Per-gate `(voltage bits, delay seconds)` memo for
+    /// [`Simulator::delay_at_voltage`]: the device delay law runs `exp`
+    /// per evaluation, and on a constant rail every event re-asks the
+    /// same question. Keyed on exact `f64` bits so the memo can never
+    /// change a result; invalidated by the per-gate knobs
+    /// ([`Simulator::set_extra_load`] / [`Simulator::set_delay_scale`]).
+    delay_memo: Vec<Cell<(u64, f64)>>,
+    /// `(voltage bits, watts)` memo for the device leakage law (also an
+    /// `exp`), shared by all domains — the key is the voltage alone.
+    leak_memo: Cell<(u64, f64)>,
 }
+
+/// Memo key that no rail voltage produces: a quiet-NaN bit pattern. A
+/// NaN voltage would already have poisoned the simulation arithmetic, so
+/// colliding with it cannot change an outcome that mattered.
+const MEMO_INVALID: u64 = f64::NAN.to_bits();
 
 impl Simulator {
     /// Creates a simulator over `netlist` with the given device model.
@@ -150,7 +166,10 @@ impl Simulator {
     /// All nets start at logic 0 except constant-1 sources. Assign every
     /// gate to a power domain ([`Simulator::add_domain`] /
     /// [`Simulator::assign_all`]) before calling [`Simulator::start`].
-    pub fn new(netlist: Netlist, device: DeviceModel) -> Self {
+    pub fn new(mut netlist: Netlist, device: DeviceModel) -> Self {
+        // The simulator owns the netlist and never mutates it: freeze the
+        // CSR fanout + load cache once, up front, for the event loop.
+        netlist.freeze();
         let gates = netlist.gate_count();
         let nets = netlist.net_count();
         let mut values = vec![false; nets];
@@ -180,6 +199,8 @@ impl Simulator {
             gate_energy: vec![Joules(0.0); gates],
             stuck: vec![None; gates],
             window_steps: 4096.0,
+            delay_memo: vec![Cell::new((MEMO_INVALID, 0.0)); gates],
+            leak_memo: Cell::new((MEMO_INVALID, 0.0)),
         }
     }
 
@@ -232,6 +253,7 @@ impl Simulator {
     pub fn set_extra_load(&mut self, gate: GateId, load: Farads) {
         assert!(load.0 >= 0.0, "negative extra load");
         self.extra_load[gate.index()] = load;
+        self.delay_memo[gate.index()].set((MEMO_INVALID, 0.0));
     }
 
     /// Multiplies one gate's delay by `scale` — the hook used for process
@@ -247,6 +269,7 @@ impl Simulator {
             "delay scale must be positive"
         );
         self.delay_scale[gate.index()] = scale;
+        self.delay_memo[gate.index()].set((MEMO_INVALID, 0.0));
     }
 
     /// Sets a net's value before the simulation starts (initialising
@@ -560,8 +583,23 @@ impl Simulator {
 
     fn eval_gate(&self, gate: GateId) -> bool {
         let g = self.netlist.gate_ref(gate);
-        let inputs: Vec<bool> = g.inputs().iter().map(|n| self.values[n.index()]).collect();
-        g.kind().eval(&inputs, self.values[g.output().index()])
+        g.kind().eval_map(
+            g.inputs(),
+            |n| self.values[n.index()],
+            self.values[g.output().index()],
+        )
+    }
+
+    /// The memoised device leakage law (see the `leak_memo` field).
+    fn leakage_memo(device: &DeviceModel, memo: &Cell<(u64, f64)>, v: Volts) -> Watts {
+        let bits = v.0.to_bits();
+        let (key, watts) = memo.get();
+        if key == bits {
+            return Watts(watts);
+        }
+        let p = device.leakage_power(v);
+        memo.set((bits, p.0));
+        p
     }
 
     /// Output load of a gate: its own drain parasitic (scaled by drive),
@@ -577,11 +615,20 @@ impl Simulator {
         )
     }
 
-    /// Constant-supply delay of `gate` at rail voltage `v`.
+    /// Constant-supply delay of `gate` at rail voltage `v`, memoised on
+    /// the exact voltage bits (see the `delay_memo` field).
     fn delay_at_voltage(&self, gate: GateId, v: Volts) -> Seconds {
+        let bits = v.0.to_bits();
+        let memo = &self.delay_memo[gate.index()];
+        let (key, delay) = memo.get();
+        if key == bits {
+            return Seconds(delay);
+        }
         let g = self.netlist.gate_ref(gate);
         let base = self.device.gate_delay(v, self.output_load(gate), g.drive());
-        base * g.kind().delay_factor() * self.delay_scale[gate.index()]
+        let td = base * g.kind().delay_factor() * self.delay_scale[gate.index()];
+        memo.set((bits, td.0));
+        td
     }
 
     fn schedule_transition(&mut self, gate: GateId, value: bool, from: Seconds) {
@@ -597,125 +644,115 @@ impl Simulator {
     ) {
         debug_assert!(self.pending[gate.index()].is_none());
         let domain_id = self.gate_domain[gate.index()].expect("gate without domain");
-        let domain = &self.domains[domain_id.0];
         let remaining = 1.0 - progress;
 
-        match domain.kind() {
-            SupplyKind::Capacitor { .. } => {
-                // Capacitor rails are piecewise constant between events:
-                // a single-step exact solution, or a stall if depleted.
-                let v = domain.voltage(from);
-                let td = self.delay_at_voltage(gate, v);
-                if td.0.is_infinite() {
-                    self.pending[gate.index()] = Some(Pending {
-                        value,
-                        stalled: true,
-                    });
-                    return;
+        /// What phase 1 decided, carried across the borrow boundary:
+        /// everything below is computed under immutable borrows of the
+        /// domain (and its waveform, in place — no clone), then the
+        /// mutations happen with those borrows released.
+        enum Plan {
+            /// Depleted capacitor rail: wait for an explicit recharge.
+            Stall,
+            /// Fires at the given absolute time.
+            FireAt(f64),
+            /// Permanently stalled ideal rail: park the continuation far
+            /// in the future so it never spins.
+            Park,
+            /// Integration window crossed while stalled: continue at
+            /// `time` with `progress` of the work already done.
+            Window { time: f64, progress: f64 },
+        }
+
+        let plan = {
+            let domain = &self.domains[domain_id.0];
+            match domain.kind() {
+                SupplyKind::Capacitor { .. } => {
+                    // Capacitor rails are piecewise constant between
+                    // events: a single-step exact solution, or a stall if
+                    // depleted.
+                    let v = domain.voltage(from);
+                    let td = self.delay_at_voltage(gate, v);
+                    if td.0.is_infinite() {
+                        Plan::Stall
+                    } else {
+                        Plan::FireAt(from.0 + td.0 * remaining)
+                    }
                 }
-                let fire = Seconds(from.0 + td.0 * remaining);
-                self.pending[gate.index()] = Some(Pending {
-                    value,
-                    stalled: false,
-                });
-                let ev = QueuedEvent {
-                    time: fire.0,
-                    seq: self.next_seq(),
-                    gate: gate.index(),
-                    value,
-                    epoch: self.epochs[gate.index()],
-                    progress: 0.0,
-                    complete: true,
-                };
-                self.push_event(ev);
-            }
-            SupplyKind::Ideal {
-                waveform,
-                resolution,
-            } => {
-                // Constant rails need no numerical integration: the
-                // remaining work completes in one exact step. (Without
-                // this, a millisecond-scale sub-threshold delay would be
-                // ground through at nanosecond resolution.)
-                if let Some(v) = waveform.as_constant() {
-                    let td = self.delay_at_voltage(gate, Volts(v));
-                    self.pending[gate.index()] = Some(Pending {
-                        value,
-                        stalled: false,
-                    });
-                    let ev = if td.0.is_finite() {
-                        QueuedEvent {
-                            time: from.0 + td.0 * remaining,
-                            seq: self.next_seq(),
-                            gate: gate.index(),
-                            value,
-                            epoch: self.epochs[gate.index()],
-                            progress: 0.0,
-                            complete: true,
+                SupplyKind::Ideal {
+                    waveform,
+                    resolution,
+                } => {
+                    // Constant rails need no numerical integration: the
+                    // remaining work completes in one exact step.
+                    // (Without this, a millisecond-scale sub-threshold
+                    // delay would be ground through at nanosecond
+                    // resolution.)
+                    if let Some(v) = waveform.as_constant() {
+                        let td = self.delay_at_voltage(gate, Volts(v));
+                        if td.0.is_finite() {
+                            Plan::FireAt(from.0 + td.0 * remaining)
+                        } else {
+                            Plan::Park
                         }
                     } else {
-                        // Permanently stalled rail: park the continuation
-                        // far in the future so it never spins.
-                        QueuedEvent {
-                            time: f64::MAX / 2.0,
-                            seq: self.next_seq(),
-                            gate: gate.index(),
-                            value,
-                            epoch: self.epochs[gate.index()],
-                            progress,
-                            complete: false,
+                        let horizon = Seconds(from.0 + resolution.0 * self.window_steps);
+                        // Scaling every delay by the remaining work makes
+                        // the solver's work target of 1 equal `remaining`
+                        // of the original transition.
+                        let td_at = |t: Seconds| {
+                            let v = Volts(waveform.value_at(t));
+                            self.delay_at_voltage(gate, v) * remaining
+                        };
+                        match completion_time(from, td_at, *resolution, horizon) {
+                            Completion::At(t) => Plan::FireAt(t.0),
+                            Completion::StalledUntilHorizon { progress: p } => Plan::Window {
+                                time: horizon.0,
+                                // Convert chunk progress back to absolute
+                                // progress.
+                                progress: progress + p * remaining,
+                            },
                         }
-                    };
-                    self.push_event(ev);
-                    return;
+                    }
                 }
-                let waveform = waveform.clone();
-                let resolution = *resolution;
-                let horizon = Seconds(from.0 + resolution.0 * self.window_steps);
-                // Scaling every delay by the remaining work makes the
-                // solver's work target of 1 equal `remaining` of the
-                // original transition.
-                let td_at = |t: Seconds| {
-                    let v = Volts(waveform.value_at(t));
-                    self.delay_at_voltage(gate, v) * remaining
-                };
-                let completion = completion_time(from, td_at, resolution, horizon);
-                self.pending[gate.index()] = Some(Pending {
-                    value,
-                    stalled: false,
-                });
-                let ev = match completion {
-                    Completion::At(t) => QueuedEvent {
-                        time: t.0,
-                        seq: self.next_seq(),
-                        gate: gate.index(),
-                        value,
-                        epoch: self.epochs[gate.index()],
-                        progress: 0.0,
-                        complete: true,
-                    },
-                    Completion::StalledUntilHorizon { progress: p } => QueuedEvent {
-                        time: horizon.0,
-                        seq: self.next_seq(),
-                        gate: gate.index(),
-                        value,
-                        epoch: self.epochs[gate.index()],
-                        // Convert chunk progress back to absolute progress.
-                        progress: progress + p * remaining,
-                        complete: false,
-                    },
-                };
-                self.push_event(ev);
             }
+        };
+
+        if let Plan::Stall = plan {
+            self.pending[gate.index()] = Some(Pending {
+                value,
+                stalled: true,
+            });
+            return;
         }
+        self.pending[gate.index()] = Some(Pending {
+            value,
+            stalled: false,
+        });
+        let (time, progress, complete) = match plan {
+            Plan::FireAt(t) => (t, 0.0, true),
+            Plan::Park => (f64::MAX / 2.0, progress, false),
+            Plan::Window { time, progress } => (time, progress, false),
+            Plan::Stall => unreachable!(),
+        };
+        let ev = QueuedEvent {
+            time,
+            seq: self.next_seq(),
+            gate: gate.index(),
+            value,
+            epoch: self.epochs[gate.index()],
+            progress,
+            complete,
+        };
+        self.push_event(ev);
     }
 
     fn commit(&mut self, gate: GateId, net: NetId, value: bool, time: Seconds) -> FiredEvent {
         // Leakage catch-up for the firing gate's domain (inputs are
         // domain-less and draw nothing).
         if let Some(d) = self.gate_domain[gate.index()] {
-            let device = self.device.clone();
-            self.domains[d.0].advance(time, |v| device.leakage_power(v));
+            let device = &self.device;
+            let memo = &self.leak_memo;
+            self.domains[d.0].advance(time, |v| Self::leakage_memo(device, memo, v));
             if value {
                 let load = self.output_load(gate);
                 let before = self.domains[d.0].switching_energy();
@@ -728,8 +765,11 @@ impl Simulator {
         if self.watched[net.index()] {
             self.trace.record(time, net, value);
         }
-        // Propagate to fanout.
-        for f in self.netlist.fanout(net) {
+        // Propagate to fanout. Indexed loop: `fanout()` is a borrow of
+        // the netlist (two array reads on the frozen CSR), and the loop
+        // body needs `&mut self` to schedule.
+        for fi in 0..self.netlist.fanout(net).len() {
+            let f = self.netlist.fanout(net)[fi];
             let fk = self.netlist.gate_ref(f).kind();
             if fk.is_source() {
                 continue;
@@ -740,9 +780,13 @@ impl Simulator {
             let g = self.netlist.gate_ref(f);
             let current = self.values[g.output().index()];
             let target = {
-                let inputs: Vec<bool> = g.inputs().iter().map(|n| self.values[n.index()]).collect();
                 let pos = g.inputs().iter().position(|&n| n == net);
-                fk.eval_with_edge(&inputs, current, pos.map(|p| (p, value)))
+                fk.eval_map_with_edge(
+                    g.inputs(),
+                    |n| self.values[n.index()],
+                    current,
+                    pos.map(|p| (p, value)),
+                )
             };
             match self.pending[f.index()] {
                 None => {
@@ -776,9 +820,10 @@ impl Simulator {
     }
 
     fn advance_domains(&mut self, t: Seconds) {
-        let device = self.device.clone();
+        let device = &self.device;
+        let memo = &self.leak_memo;
         for d in &mut self.domains {
-            d.advance(t, |v| device.leakage_power(v));
+            d.advance(t, |v| Self::leakage_memo(device, memo, v));
         }
     }
 }

@@ -33,7 +33,7 @@ pub fn check_conformance(
     // The STG's declared initial levels must agree with the circuit's
     // initial net values, or every subsequent edge is off by a phase.
     for &(sig, net) in map {
-        let circuit = initial.values[net.index()];
+        let circuit = initial.value(net);
         if circuit != stg.initial_level(sig) {
             diags.push(
                 Diagnostic::new(

@@ -9,6 +9,12 @@
 //! are unbounded, so the explorer tries them all (breadth-first, with an
 //! exact state cap like `emc_petri::analysis::reachable_markings`).
 //!
+//! States are bit-packed (one `u64` word per 64 nets, two per 64 gates
+//! for the pending events) and hash-consed into an arena during
+//! exploration, so the BFS frontier and visited set are `u32` indices
+//! instead of owned heap states — the difference between hashing a few
+//! machine words and hashing two `Vec`s per successor.
+//!
 //! Two families of rules are decided on the fly:
 //!
 //! * **output persistence** (`SI001`): an excited gate may only lose its
@@ -23,22 +29,102 @@
 //!   assert both rails of a discovered pair, and a codeword must return
 //!   to spacer before the pair changes again.
 
-use std::collections::{HashSet, VecDeque};
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
 
 use emc_netlist::{Diagnostic, GateId, GateKind, NetId, Netlist, Severity};
 
 use crate::rails::{discover_rail_pairs, RailPair};
 
-/// One global state of the closed circuit–environment system.
+/// One global state of the closed circuit–environment system,
+/// bit-packed: `words` holds the net values (one bit per net), then a
+/// pending-present bit per gate, then the pending-target bit per gate.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct State {
-    /// Net values, indexed by [`NetId::index`].
-    pub values: Vec<bool>,
-    /// Per-gate pending event: `Some(target)` when an edge-triggered
-    /// gate has been armed but not yet fired. `None` for level gates.
-    pub pending: Vec<Option<bool>>,
+    words: Box<[u64]>,
+    /// Number of leading words holding net values.
+    value_words: u32,
+    /// Number of words in each of the two pending planes.
+    pending_words: u32,
     /// Environment control state (phase of its protocol machine).
     pub env: u8,
+}
+
+impl State {
+    fn empty(nets: usize, gates: usize, env: u8) -> Self {
+        let value_words = nets.div_ceil(64);
+        let pending_words = gates.div_ceil(64);
+        State {
+            words: vec![0u64; value_words + 2 * pending_words].into_boxed_slice(),
+            value_words: u32::try_from(value_words).expect("net count fits in u32 words"),
+            pending_words: u32::try_from(pending_words).expect("gate count fits in u32 words"),
+            env,
+        }
+    }
+
+    /// The current value of `net`.
+    #[inline]
+    pub fn value(&self, net: NetId) -> bool {
+        let i = net.index();
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn set_value(&mut self, net: NetId, v: bool) {
+        let i = net.index();
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// The pending event of an edge-triggered `gate`: `Some(target)` when
+    /// armed but not yet fired, `None` otherwise (and always `None` for
+    /// level gates).
+    #[inline]
+    pub fn pending(&self, gate: GateId) -> Option<bool> {
+        let i = gate.index();
+        let present = self.value_words as usize + i / 64;
+        if self.words[present] >> (i % 64) & 1 == 0 {
+            return None;
+        }
+        let target = present + self.pending_words as usize;
+        Some(self.words[target] >> (i % 64) & 1 != 0)
+    }
+
+    #[inline]
+    fn set_pending(&mut self, gate: GateId, p: Option<bool>) {
+        let i = gate.index();
+        let present = self.value_words as usize + i / 64;
+        let target = present + self.pending_words as usize;
+        let mask = 1u64 << (i % 64);
+        match p {
+            // Keep the target plane canonical (zero when absent) so
+            // equal states are bit-identical for `Eq`/`Hash`.
+            None => {
+                self.words[present] &= !mask;
+                self.words[target] &= !mask;
+            }
+            Some(t) => {
+                self.words[present] |= mask;
+                if t {
+                    self.words[target] |= mask;
+                } else {
+                    self.words[target] &= !mask;
+                }
+            }
+        }
+    }
+
+    /// Overwrites `self` with `other` without reallocating (the layouts
+    /// must match — both came from the same explorer).
+    fn copy_from(&mut self, other: &State) {
+        self.words.copy_from_slice(&other.words);
+        self.env = other.env;
+    }
 }
 
 /// One enabled transition: a net taking a new value, caused by a gate
@@ -69,14 +155,14 @@ pub struct EnvAction {
 
 /// What the environment closure may observe of the current state.
 pub struct EnvView<'v> {
-    values: &'v [bool],
+    state: &'v State,
     quiescent: bool,
 }
 
 impl EnvView<'_> {
     /// The current value of `net`.
     pub fn value(&self, net: NetId) -> bool {
-        self.values[net.index()]
+        self.state.value(net)
     }
 
     /// `true` when no internal gate is excited or pending — the circuit
@@ -147,9 +233,60 @@ impl Sink {
     }
 }
 
+/// Hash-consing arena for explored states: every distinct state is stored
+/// once, and the visited set / BFS frontier are `u32` indices into it.
+/// Buckets are keyed by the state's hash; collisions fall back to full
+/// equality against the arena entry.
+struct Interner {
+    arena: Vec<State>,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Self {
+            arena: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn hash_of(s: &State) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn get(&self, index: u32) -> &State {
+        &self.arena[index as usize]
+    }
+
+    fn contains(&self, s: &State) -> bool {
+        self.buckets
+            .get(&Self::hash_of(s))
+            .is_some_and(|b| b.iter().any(|&i| self.arena[i as usize] == *s))
+    }
+
+    /// Inserts a (known-absent) state, cloning it into the arena.
+    fn insert(&mut self, s: &State) -> u32 {
+        let index = u32::try_from(self.arena.len()).expect("state arena fits in u32");
+        self.arena.push(s.clone());
+        self.buckets
+            .entry(Self::hash_of(s))
+            .or_default()
+            .push(index);
+        index
+    }
+}
+
 /// The state-graph explorer for one circuit + environment pair.
 pub struct Explorer<'a> {
-    netlist: &'a Netlist,
+    /// Borrowed when the caller already froze the netlist; otherwise a
+    /// private frozen clone, so `fanout()` always hits the CSR arena.
+    netlist: Cow<'a, Netlist>,
     env: &'a Environment<'a>,
     initial: &'a [(NetId, bool)],
     state_cap: usize,
@@ -174,6 +311,13 @@ impl<'a> Explorer<'a> {
             pair_of_net[p.t.index()] = Some(i);
             pair_of_net[p.f.index()] = Some(i);
         }
+        let netlist = if netlist.is_frozen() {
+            Cow::Borrowed(netlist)
+        } else {
+            let mut own = netlist.clone();
+            own.freeze();
+            Cow::Owned(own)
+        };
         Self {
             netlist,
             env,
@@ -186,45 +330,51 @@ impl<'a> Explorer<'a> {
 
     /// The netlist under analysis.
     pub fn netlist(&self) -> &Netlist {
-        self.netlist
+        &self.netlist
     }
 
     /// The initial state: all nets low except constants-1 and the
     /// explicit overrides; nothing pending; the environment in its
     /// initial control state.
     pub fn initial_state(&self) -> State {
-        let mut values = vec![false; self.netlist.net_count()];
+        let mut s = State::empty(
+            self.netlist.net_count(),
+            self.netlist.gate_count(),
+            self.env.initial,
+        );
         for (_, g) in self.netlist.iter_gates() {
             if g.kind() == GateKind::Const1 {
-                values[g.output().index()] = true;
+                s.set_value(g.output(), true);
             }
         }
         for &(net, v) in self.initial {
-            values[net.index()] = v;
+            s.set_value(net, v);
         }
-        State {
-            values,
-            pending: vec![None; self.netlist.gate_count()],
-            env: self.env.initial,
-        }
+        s
     }
 
     fn eval_gate(&self, gate: GateId, s: &State) -> bool {
         let g = self.netlist.gate_ref(gate);
-        let ins: Vec<bool> = g.inputs().iter().map(|n| s.values[n.index()]).collect();
-        g.kind().eval(&ins, s.values[g.output().index()])
+        g.kind()
+            .eval_map(g.inputs(), |n| s.value(n), s.value(g.output()))
     }
 
     /// Enabled internal transitions: excited level gates and armed
     /// edge-triggered gates, in gate order (deterministic).
     pub fn internal_enabled(&self, s: &State) -> Vec<Transition> {
         let mut out = Vec::new();
+        self.internal_enabled_into(s, &mut out);
+        out
+    }
+
+    fn internal_enabled_into(&self, s: &State, out: &mut Vec<Transition>) {
+        out.clear();
         for (gid, g) in self.netlist.iter_gates() {
             if g.kind().is_source() {
                 continue;
             }
             if matches!(g.kind(), GateKind::Toggle | GateKind::Dff) {
-                if let Some(target) = s.pending[gid.index()] {
+                if let Some(target) = s.pending(gid) {
                     out.push(Transition {
                         gate: Some(gid),
                         net: g.output(),
@@ -233,8 +383,8 @@ impl<'a> Explorer<'a> {
                     });
                 }
             } else {
-                let cur = s.values[g.output().index()];
-                let target = self.eval_gate(gid, s);
+                let cur = s.value(g.output());
+                let target = g.kind().eval_map(g.inputs(), |n| s.value(n), cur);
                 if target != cur {
                     out.push(Transition {
                         gate: Some(gid),
@@ -245,26 +395,33 @@ impl<'a> Explorer<'a> {
                 }
             }
         }
-        out
     }
 
     /// Enabled environment transitions (`quiescent` is precomputed by
     /// the caller from [`Explorer::internal_enabled`]).
     pub fn env_enabled(&self, s: &State, quiescent: bool) -> Vec<Transition> {
+        let mut out = Vec::new();
+        self.env_enabled_into(s, quiescent, &mut out);
+        out
+    }
+
+    fn env_enabled_into(&self, s: &State, quiescent: bool, out: &mut Vec<Transition>) {
+        out.clear();
         let view = EnvView {
-            values: &s.values,
+            state: s,
             quiescent,
         };
-        (self.env.step)(s.env, &view)
-            .into_iter()
-            .filter(|a| s.values[a.net.index()] != a.value)
-            .map(|a| Transition {
-                gate: None,
-                net: a.net,
-                value: a.value,
-                env_next: a.next,
-            })
-            .collect()
+        out.extend(
+            (self.env.step)(s.env, &view)
+                .into_iter()
+                .filter(|a| s.value(a.net) != a.value)
+                .map(|a| Transition {
+                    gate: None,
+                    net: a.net,
+                    value: a.value,
+                    env_next: a.next,
+                }),
+        );
     }
 
     /// Fires `t` in `s`: the successor state plus any edge-triggered
@@ -272,47 +429,55 @@ impl<'a> Explorer<'a> {
     /// still pending — a lost event).
     pub fn apply(&self, s: &State, t: &Transition) -> (State, Vec<GateId>) {
         let mut next = s.clone();
-        next.values[t.net.index()] = t.value;
+        let mut overruns = Vec::new();
+        self.apply_into(s, t, &mut next, &mut overruns);
+        (next, overruns)
+    }
+
+    /// [`Explorer::apply`] into caller-owned buffers — the BFS inner loop
+    /// reuses one successor state and one overrun list for the whole run.
+    fn apply_into(&self, s: &State, t: &Transition, next: &mut State, overruns: &mut Vec<GateId>) {
+        next.copy_from(s);
+        overruns.clear();
+        next.set_value(t.net, t.value);
         next.env = t.env_next;
         if let Some(g) = t.gate {
             if matches!(
                 self.netlist.gate_ref(g).kind(),
                 GateKind::Toggle | GateKind::Dff
             ) {
-                next.pending[g.index()] = None;
+                next.set_pending(g, None);
             }
         }
-        let mut overruns = Vec::new();
-        for h in self.netlist.fanout(t.net) {
+        for &h in self.netlist.fanout(t.net) {
             let gate = self.netlist.gate_ref(h);
             match gate.kind() {
                 // Toggle arms on a rising edge of its (only) input; two
                 // arming edges before a fire cancel out — and lose an
                 // event, which the caller reports.
                 GateKind::Toggle if gate.inputs()[0] == t.net && t.value => {
-                    if next.pending[h.index()].is_some() {
+                    if next.pending(h).is_some() {
                         overruns.push(h);
-                        next.pending[h.index()] = None;
+                        next.set_pending(h, None);
                     } else {
-                        let cur = next.values[gate.output().index()];
-                        next.pending[h.index()] = Some(!cur);
+                        let cur = next.value(gate.output());
+                        next.set_pending(h, Some(!cur));
                     }
                 }
                 // Dff captures `d` on the rising clock edge; a recapture
                 // supersedes an unfired one (last edge wins).
                 GateKind::Dff if gate.inputs()[0] == t.net && t.value => {
-                    let d = next.values[gate.inputs()[1].index()];
-                    let cur = next.values[gate.output().index()];
-                    next.pending[h.index()] = if d != cur { Some(d) } else { None };
+                    let d = next.value(gate.inputs()[1]);
+                    let cur = next.value(gate.output());
+                    next.set_pending(h, if d != cur { Some(d) } else { None });
                 }
                 _ => {}
             }
         }
-        (next, overruns)
     }
 
     fn pair_levels(&self, s: &State, p: &RailPair) -> (bool, bool) {
-        (s.values[p.t.index()], s.values[p.f.index()])
+        (s.value(p.t), s.value(p.f))
     }
 
     /// Explores every reachable state, checking output persistence and
@@ -322,35 +487,43 @@ impl<'a> Explorer<'a> {
     pub fn explore(&self) -> ExploreOutcome {
         let mut sink = Sink::new();
         let initial = self.initial_state();
-        let mut seen: HashSet<State> = HashSet::new();
-        let mut queue: VecDeque<State> = VecDeque::new();
+        let mut interner = Interner::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
         let mut capped = self.state_cap == 0;
         if !capped {
             self.check_pair_invariants(None, &initial, &mut sink);
-            seen.insert(initial.clone());
-            queue.push_back(initial);
+            queue.push_back(interner.insert(&initial));
         }
 
-        'bfs: while let Some(s) = queue.pop_front() {
-            let internal = self.internal_enabled(&s);
-            let env = self.env_enabled(&s, internal.is_empty());
+        // Scratch buffers reused across the whole search: the popped
+        // state (copied out of the arena so successors can be interned
+        // while it is read), the successor, and the transition lists.
+        let mut current = initial.clone();
+        let mut next = initial.clone();
+        let mut internal: Vec<Transition> = Vec::new();
+        let mut env: Vec<Transition> = Vec::new();
+        let mut overruns: Vec<GateId> = Vec::new();
+
+        'bfs: while let Some(si) = queue.pop_front() {
+            current.copy_from(interner.get(si));
+            let s = &current;
+            self.internal_enabled_into(s, &mut internal);
+            self.env_enabled_into(s, internal.is_empty(), &mut env);
+
             // Persistence candidates: excited *level* gates. Pending
             // edge-triggered events survive anything but their own fire
             // (overruns are flagged separately), so they are exempt.
-            let persistent: Vec<&Transition> = internal
-                .iter()
-                .filter(|t| {
-                    let g = t.gate.expect("internal transitions carry a gate");
-                    !matches!(
-                        self.netlist.gate_ref(g).kind(),
-                        GateKind::Toggle | GateKind::Dff
-                    )
-                })
-                .collect();
+            let is_level = |t: &Transition| {
+                let g = t.gate.expect("internal transitions carry a gate");
+                !matches!(
+                    self.netlist.gate_ref(g).kind(),
+                    GateKind::Toggle | GateKind::Dff
+                )
+            };
 
             for t in internal.iter().chain(env.iter()) {
-                let (next, overruns) = self.apply(&s, t);
-                for h in overruns {
+                self.apply_into(s, t, &mut next, &mut overruns);
+                for &h in &overruns {
                     let out = self.netlist.gate_ref(h).output();
                     sink.push(
                         h.index(),
@@ -367,7 +540,7 @@ impl<'a> Explorer<'a> {
                         .at_net(out),
                     );
                 }
-                for p in &persistent {
+                for p in internal.iter().filter(|t| is_level(t)) {
                     let g = p.gate.expect("internal transitions carry a gate");
                     if t.gate == Some(g) {
                         continue;
@@ -394,14 +567,13 @@ impl<'a> Explorer<'a> {
                         );
                     }
                 }
-                self.check_pair_invariants(Some((&s, t.net)), &next, &mut sink);
-                if !seen.contains(&next) {
-                    if seen.len() >= self.state_cap {
+                self.check_pair_invariants(Some((s, t.net)), &next, &mut sink);
+                if !interner.contains(&next) {
+                    if interner.len() >= self.state_cap {
                         capped = true;
                         break 'bfs;
                     }
-                    seen.insert(next.clone());
-                    queue.push_back(next);
+                    queue.push_back(interner.insert(&next));
                 }
             }
         }
@@ -421,7 +593,7 @@ impl<'a> Explorer<'a> {
         }
         ExploreOutcome {
             diagnostics: sink.diags,
-            states: seen.len(),
+            states: interner.len(),
             exhaustive: !capped,
         }
     }
@@ -639,11 +811,49 @@ mod tests {
         let env = Environment::inert();
         let ex = Explorer::new(&nl, &env, &[], 100);
         let s = ex.initial_state();
-        assert!(s.values[one.index()]);
-        assert!(!s.values[zero.index()]);
-        assert!(!s.values[y.index()]);
+        assert!(s.value(one));
+        assert!(!s.value(zero));
+        assert!(!s.value(y));
         let out = ex.explore();
         assert!(out.exhaustive);
         assert_eq!(out.diagnostics, Vec::new());
+    }
+
+    #[test]
+    fn packed_state_accessors_round_trip() {
+        // 70 nets / 70 gates straddle the word boundary on every plane.
+        let mut nl = Netlist::new();
+        let mut nets = Vec::new();
+        for i in 0..70 {
+            nets.push(nl.input(&format!("n{i}")));
+        }
+        let env = Environment::inert();
+        let ex = Explorer::new(&nl, &env, &[], 10);
+        let mut s = ex.initial_state();
+        for (i, &n) in nets.iter().enumerate() {
+            assert!(!s.value(n));
+            s.set_value(n, i % 3 == 0);
+        }
+        for (i, &n) in nets.iter().enumerate() {
+            assert_eq!(s.value(n), i % 3 == 0, "net {i}");
+        }
+        for i in 0..70 {
+            let g = nl.gate_id(i);
+            assert_eq!(s.pending(g), None);
+            let p = match i % 3 {
+                0 => Some(true),
+                1 => Some(false),
+                _ => None,
+            };
+            s.set_pending(g, p);
+            assert_eq!(s.pending(g), p, "gate {i}");
+        }
+        // Clearing a Some(true) pending must restore bit-identity with a
+        // state that never had it (canonical target plane).
+        let mut a = ex.initial_state();
+        let b = ex.initial_state();
+        a.set_pending(nl.gate_id(65), Some(true));
+        a.set_pending(nl.gate_id(65), None);
+        assert_eq!(a, b);
     }
 }
