@@ -15,7 +15,9 @@
 //!
 //! Flags: `--smoke` (tiny workloads, self-checking, for the tier-1
 //! gate), `--seed N`, `--out PATH` (also write the JSON to a file),
-//! `--baseline PATH` (read a previous run's JSON and record speedups).
+//! `--baseline PATH` (read a previous run's JSON and record speedups),
+//! `--guard PCT` (with `--baseline`: fail unless events/s and states/s
+//! stay within PCT percent of the baseline — the regression gate).
 //! Flag errors are panics, like the other campaign binaries.
 
 use std::time::Instant;
@@ -229,6 +231,7 @@ struct Args {
     seed: u64,
     out: Option<String>,
     baseline: Option<String>,
+    guard: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -237,6 +240,7 @@ fn parse_args() -> Args {
         seed: 2011,
         out: None,
         baseline: None,
+        guard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -248,9 +252,19 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = Some(it.next().expect("--out needs a path")),
             "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a path")),
-            other => panic!("unknown flag {other} (try --smoke, --seed, --out, --baseline)"),
+            "--guard" => {
+                let v = it.next().expect("--guard needs a percentage");
+                args.guard = Some(v.parse().expect("--guard takes a percentage"));
+            }
+            other => {
+                panic!("unknown flag {other} (try --smoke, --seed, --out, --baseline, --guard)")
+            }
         }
     }
+    assert!(
+        args.guard.is_none() || args.baseline.is_some(),
+        "--guard needs --baseline to compare against"
+    );
     args
 }
 
@@ -359,6 +373,15 @@ fn main() {
         let sim_speedup = const_rate / base_events;
         let verify_speedup = state_rate / base_states;
         println!("  vs baseline      : sim {sim_speedup:.2}x, verify {verify_speedup:.2}x");
+        if let Some(pct) = args.guard {
+            let floor = 1.0 - pct / 100.0;
+            assert!(
+                sim_speedup >= floor && verify_speedup >= floor,
+                "perf guard: throughput regressed more than {pct}% vs baseline \
+                 (sim {sim_speedup:.3}x, verify {verify_speedup:.3}x)"
+            );
+            println!("  perf guard       : within {pct}% of baseline");
+        }
         json.push_str(",\n");
         json.push_str(&format!(
             "  \"baseline_events_per_sec\": {},\n",

@@ -1,0 +1,323 @@
+//! `emc-stats` — run an instrumented scenario and export its telemetry.
+//!
+//! The observability counterpart of `emc-perf`: where `emc-perf` times
+//! the hot kernels, `emc-stats` runs them with the [`emc_obs`] layer
+//! enabled and renders the resulting [`Telemetry`] bundle. Because
+//! telemetry is a pure function of workload + seed, the exported bytes
+//! are **identical at any `--threads` count** — the integration test
+//! `stats_determinism` pins this by diffing `--threads 1/2/8` output.
+//!
+//! Scenarios (`--scenario NAME`, default `all`):
+//!
+//! * `sim` — the self-timed counter rig with simulator obs enabled;
+//! * `verify` — the built-in suite through the explorer's telemetry path;
+//! * `sram` — a write/read mix across the Vdd range plus two
+//!   supply-ramp accesses (which record sim-time spans);
+//! * `sensor` — charge-to-digital conversions via
+//!   `convert_instrumented`;
+//! * `chain` — the harvester → reservoir → DC-DC chain snapshot;
+//! * `campaign` — a Vdd-sweep campaign with per-run bundles merged in
+//!   submission-index order;
+//! * `all` — every scenario above, merged into one bundle.
+//!
+//! Output: a human summary by default, or exactly one of `--json`
+//! (JSONL), `--chrome-trace` (trace-event JSON) or `--prom` (Prometheus
+//! text). `--out PATH` writes the export to a file instead of stdout.
+//! `--smoke` shrinks every workload for the tier-1 gate. Flag errors
+//! panic, like the other campaign binaries.
+
+use emc_async::{SelfTimedOscillator, ToggleRippleCounter};
+use emc_device::DeviceModel;
+use emc_netlist::{GateKind, Netlist};
+use emc_obs::{to_chrome_trace, to_jsonl, to_prometheus, EnergyKind, Telemetry};
+use emc_power::{DcDcConverter, PowerChain, StorageCap, VibrationHarvester};
+use emc_prng::{Rng, StdRng};
+use emc_sensors::ChargeToDigitalConverter;
+use emc_sim::campaign::{run_campaign, CampaignConfig, RunContext, RunReport};
+use emc_sim::{Simulator, SupplyKind};
+use emc_sram::{Sram, SramConfig, TimingDiscipline};
+use emc_units::{Farads, Hertz, Seconds, Volts, Watts, Waveform};
+use emc_verify::builtin::builtin_suite;
+use emc_verify::Explorer;
+
+/// The self-timed counter rig of `emc-perf`, with observability on.
+fn scenario_sim(smoke: bool) -> Telemetry {
+    let mut nl = Netlist::new();
+    let osc = SelfTimedOscillator::build(&mut nl, "osc");
+    let _cnt = ToggleRippleCounter::build(&mut nl, 8, osc.output(), "cnt");
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(1.0)));
+    sim.assign_all(d);
+    osc.prime(&mut sim);
+    sim.enable_obs();
+    sim.start();
+    let budget = if smoke { 2_000 } else { 100_000 };
+    let fired = sim.run_to_quiescence(budget);
+    assert!(fired > 0, "sim scenario fired no events");
+    sim.telemetry()
+}
+
+/// The built-in verification suite through the telemetry explorer.
+fn scenario_verify(smoke: bool) -> Telemetry {
+    let mut merged = Telemetry::new();
+    for circuit in &builtin_suite(smoke) {
+        let ex = Explorer::new(&circuit.netlist, &circuit.env, &circuit.initial, 500_000);
+        let (outcome, t) = ex.explore_with_telemetry();
+        assert!(outcome.exhaustive, "{} exploration capped", circuit.name);
+        merged.merge_from(&t);
+    }
+    merged
+}
+
+/// A deterministic write/read mix over the Vdd range, plus two accesses
+/// under a rising supply so the span log is exercised.
+fn scenario_sram(smoke: bool, seed: u64) -> Telemetry {
+    let mut sram = Sram::new(SramConfig::paper_1kbit());
+    sram.enable_obs();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = if smoke { 32 } else { 512 };
+    for i in 0..n {
+        let vdd = Volts(rng.gen_range(0.45..1.0));
+        let addr = i % 64;
+        let word = (rng.gen_range(0.0..65536.0)) as u64 & 0xFFFF;
+        let w = sram.write_at(vdd, addr, word, TimingDiscipline::Completion);
+        let r = sram.read_at(vdd, addr, TimingDiscipline::Completion);
+        assert!(w.completed && r.completed, "completion access must finish");
+    }
+    // Fig. 7's ramp: a slow write under a depleted rail, a fast one
+    // under a healthy rail — both land in the span log.
+    let supply = Waveform::pwl([
+        (Seconds(0.0), 0.25),
+        (Seconds(30e-6), 0.25),
+        (Seconds(32e-6), 1.0),
+    ]);
+    let res = Seconds(50e-9);
+    let horizon = Seconds(1.0);
+    sram.write_under(&supply, Seconds(0.0), 0, 0xAAAA, res, horizon);
+    sram.read_under(&supply, Seconds(40e-6), 0, res, horizon);
+    sram.telemetry()
+}
+
+/// Charge-to-digital conversions with the sensor's own metrics.
+fn scenario_sensor(smoke: bool) -> Telemetry {
+    let conv = ChargeToDigitalConverter::new(Farads(2e-12), 12);
+    let inputs: &[f64] = if smoke { &[0.6] } else { &[0.5, 0.8, 1.0] };
+    let mut merged = Telemetry::new();
+    for &vin in inputs {
+        let (r, t) = conv.convert_instrumented(Volts(vin));
+        assert!(r.code > 0, "conversion produced no counts at {vin} V");
+        merged.merge_from(&t);
+    }
+    merged
+}
+
+/// The composed power chain under a pre-charge-then-load profile.
+fn scenario_chain(smoke: bool) -> Telemetry {
+    let h = VibrationHarvester::new(Hertz(120.0), Watts(100e-6), 8.0);
+    let mut chain = PowerChain::new(
+        h.into_source(Hertz(120.0)),
+        StorageCap::new(Farads(10e-6), Volts(0.0), Volts(1.2)),
+        DcDcConverter::new(Volts(0.5)),
+    );
+    let ticks = if smoke { 100 } else { 1_000 };
+    for i in 0..ticks {
+        let load = if i < ticks / 2 {
+            Watts(0.0)
+        } else {
+            Watts(40e-6)
+        };
+        chain.tick(Seconds(1e-3), load);
+    }
+    chain.telemetry()
+}
+
+/// One campaign job: the ring-oscillator burst rig of `emc-perf`, with
+/// observability enabled so the run carries a telemetry bundle.
+fn campaign_worker(vdd: &f64, ctx: &RunContext) -> RunReport {
+    let mut nl = Netlist::new();
+    let en = nl.input("en");
+    let g1 = nl.gate(GateKind::Nand, &[en, en], "g1");
+    let g2 = nl.gate(GateKind::Inv, &[g1], "g2");
+    let g3 = nl.gate(GateKind::Inv, &[g2], "g3");
+    nl.connect_feedback(g1, g3);
+    nl.mark_output(g3);
+    let mut sim = Simulator::new(nl, DeviceModel::umc90());
+    let d = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(*vdd)));
+    sim.assign_all(d);
+    sim.set_initial(g1, true);
+    sim.set_initial(g3, true);
+    sim.watch(g3);
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let mut t = 0.0;
+    let mut level = true;
+    for _ in 0..8 {
+        sim.schedule_input(en, Seconds(t), level);
+        t += rng.gen_range(1e-9..10e-9);
+        level = !level;
+    }
+    sim.schedule_input(en, Seconds(t), true);
+    sim.enable_obs();
+    sim.start();
+    let stats = sim.run_until(Seconds(t + 40e-9));
+    RunReport::from_sim(&sim, ctx, stats, vec![*vdd, stats.fired as f64])
+}
+
+/// A Vdd-sweep campaign; per-run bundles merge in submission order, so
+/// the aggregate is byte-identical at any thread count.
+fn scenario_campaign(smoke: bool, threads: usize, seed: u64) -> Telemetry {
+    let jobs = if smoke { 4 } else { 16 };
+    let vdds: Vec<f64> = (0..jobs).map(|i| 0.4 + 0.05 * i as f64).collect();
+    let cfg = CampaignConfig::new(seed).threads(threads);
+    let report = run_campaign(&vdds, &cfg, campaign_worker);
+    report.merged_telemetry()
+}
+
+fn run_scenario(name: &str, smoke: bool, threads: usize, seed: u64) -> Telemetry {
+    match name {
+        "sim" => scenario_sim(smoke),
+        "verify" => scenario_verify(smoke),
+        "sram" => scenario_sram(smoke, seed),
+        "sensor" => scenario_sensor(smoke),
+        "chain" => scenario_chain(smoke),
+        "campaign" => scenario_campaign(smoke, threads, seed),
+        "all" => {
+            let mut t = scenario_sim(smoke);
+            t.merge_from(&scenario_verify(smoke));
+            t.merge_from(&scenario_sram(smoke, seed));
+            t.merge_from(&scenario_sensor(smoke));
+            t.merge_from(&scenario_chain(smoke));
+            t.merge_from(&scenario_campaign(smoke, threads, seed));
+            t
+        }
+        other => {
+            panic!("unknown scenario {other:?} (sim, verify, sram, sensor, chain, campaign, all)")
+        }
+    }
+}
+
+/// The default human rendering: every metric, ledger account and the
+/// span count, in registration order (fully deterministic).
+fn summarize(t: &Telemetry) -> String {
+    let mut out = String::new();
+    out.push_str("== telemetry summary ==\n");
+    for c in t.metrics.counters() {
+        out.push_str(&format!("  counter   {:<36} {}\n", c.id, c.value));
+    }
+    for g in t.metrics.gauges() {
+        if let Some(v) = g.value {
+            out.push_str(&format!("  gauge     {:<36} {v}\n", g.id));
+        }
+    }
+    for h in t.metrics.histograms() {
+        out.push_str(&format!(
+            "  histogram {:<36} count={} sum={}\n",
+            h.id, h.count, h.sum
+        ));
+    }
+    for e in t.energy.entries() {
+        out.push_str(&format!(
+            "  energy    {:<36} {} J ({})\n",
+            e.account,
+            e.joules,
+            e.kind.label()
+        ));
+    }
+    out.push_str(&format!("  spans     {}\n", t.spans.len()));
+    for kind in [
+        EnergyKind::Dissipated,
+        EnergyKind::Leaked,
+        EnergyKind::Harvested,
+        EnergyKind::Stored,
+    ] {
+        out.push_str(&format!(
+            "  total {:<10} {} J\n",
+            kind.label(),
+            t.energy.total(kind)
+        ));
+    }
+    out
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Format {
+    Summary,
+    Jsonl,
+    ChromeTrace,
+    Prometheus,
+}
+
+struct Args {
+    smoke: bool,
+    scenario: String,
+    threads: usize,
+    seed: u64,
+    format: Format,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        scenario: "all".to_owned(),
+        threads: 0,
+        seed: 2011,
+        format: Format::Summary,
+        out: None,
+    };
+    let set_format = |args: &mut Args, f: Format| {
+        assert!(
+            args.format == Format::Summary,
+            "--json, --chrome-trace and --prom are mutually exclusive"
+        );
+        args.format = f;
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--json" => set_format(&mut args, Format::Jsonl),
+            "--chrome-trace" => set_format(&mut args, Format::ChromeTrace),
+            "--prom" => set_format(&mut args, Format::Prometheus),
+            "--scenario" => {
+                args.scenario = it.next().expect("--scenario needs a name");
+            }
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                args.threads = v.parse().expect("--threads takes an integer");
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                args.seed = v.parse().expect("--seed takes a u64");
+            }
+            "--out" => args.out = Some(it.next().expect("--out needs a path")),
+            other => panic!(
+                "unknown flag {other} (try --smoke, --scenario, --threads, --seed, \
+                 --json, --chrome-trace, --prom, --out)"
+            ),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let t = run_scenario(&args.scenario, args.smoke, args.threads, args.seed);
+    assert!(
+        !t.metrics.is_empty() || !t.energy.is_empty(),
+        "scenario {} produced no telemetry",
+        args.scenario
+    );
+    let rendered = match args.format {
+        Format::Summary => summarize(&t),
+        Format::Jsonl => to_jsonl(&t),
+        Format::ChromeTrace => to_chrome_trace(&t),
+        Format::Prometheus => to_prometheus(&t),
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("[saved {path}]");
+        }
+        None => print!("{rendered}"),
+    }
+}

@@ -32,12 +32,28 @@ fn main() {
 
     // Waveform-style series: every settled code change with the supply
     // voltage at that instant.
-    // Also dump the waveforms as VCD for a waveform viewer.
+    // Also dump the waveforms as VCD for a waveform viewer, with the AC
+    // rail itself as an analog `real` variable under the logic.
     {
         let mut nets = vec![osc.output()];
         nets.extend_from_slice(counter.bits());
         let initial = vec![true, false, false];
-        let vcd = emc_sim::to_vcd(sim.trace(), sim.netlist(), &nets, &initial, 1000);
+        let t_end = Seconds(periods * freq.period().0);
+        let rail = emc_sim::AnalogTrack::sample(
+            "vdd_ac",
+            &supply,
+            Seconds(0.0),
+            t_end,
+            Seconds(freq.period().0 / 64.0),
+        );
+        let vcd = emc_sim::to_vcd_with_analog(
+            sim.trace(),
+            sim.netlist(),
+            &nets,
+            &initial,
+            1000,
+            std::slice::from_ref(&rail),
+        );
         let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
         std::fs::create_dir_all(&dir).expect("create figures dir");
         let path = dir.join("fig04.vcd");

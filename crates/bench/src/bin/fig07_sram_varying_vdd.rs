@@ -28,6 +28,31 @@ fn main() {
     let r1 = sram.read_under(&supply, Seconds(40e-6), 0, res, horizon);
     let r2 = sram.read_under(&supply, Seconds(41e-6), 1, res, horizon);
 
+    // Dump the ramping rail as an analog-only VCD: the slow-then-fast
+    // write story is legible straight off the supply trace in a viewer.
+    {
+        let rail = emc_sim::AnalogTrack::sample(
+            "vdd_ramp",
+            &supply,
+            Seconds(0.0),
+            Seconds(45e-6),
+            Seconds(250e-9),
+        );
+        let vcd = emc_sim::to_vcd_with_analog(
+            &emc_sim::Trace::new(),
+            &emc_netlist::Netlist::new(),
+            &[],
+            &[],
+            1000,
+            std::slice::from_ref(&rail),
+        );
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+        std::fs::create_dir_all(&dir).expect("create figures dir");
+        let path = dir.join("fig07_supply.vcd");
+        std::fs::write(&path, vcd).expect("write VCD");
+        println!("  [saved {}]", path.display());
+    }
+
     let mut s = Series::new(
         "fig07",
         "two writes under a rising supply: latency and correctness",

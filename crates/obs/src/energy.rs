@@ -1,0 +1,166 @@
+//! Energy-accounting ledger.
+//!
+//! Joules attributed to named accounts, split by [`EnergyKind`].
+//! Account ids follow a `scope/name` convention:
+//!
+//! * `domain/<id>` — per power domain (`domain/vdd`)
+//! * `group/<prefix>` — per gate group, keyed on the net-name prefix
+//!   before the first `.` (`group/cnt`)
+//! * `op/<name>` — per logical operation (`op/read`, `op/convert`)
+//! * `chain/<stage>` — per power-chain stage (`chain/delivered`)
+//!
+//! Entries are insertion-ordered and merge by (account, kind), so a
+//! ledger built in a fixed order exports identical bytes every run.
+
+use emc_units::Joules;
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// What happened to the energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyKind {
+    /// Usefully dissipated by switching activity.
+    Dissipated,
+    /// Lost to leakage.
+    Leaked,
+    /// Captured from the environment (or a supply) into the system.
+    Harvested,
+    /// Currently held in a storage element (capacitor, battery).
+    Stored,
+}
+
+impl EnergyKind {
+    /// Stable lower-case label used by exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EnergyKind::Dissipated => "dissipated",
+            EnergyKind::Leaked => "leaked",
+            EnergyKind::Harvested => "harvested",
+            EnergyKind::Stored => "stored",
+        }
+    }
+}
+
+/// One (account, kind) accumulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Account id (`domain/vdd`, `op/read`, …).
+    pub account: Cow<'static, str>,
+    /// Energy classification.
+    pub kind: EnergyKind,
+    /// Accumulated joules.
+    pub joules: f64,
+}
+
+/// Insertion-ordered energy ledger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyLedger {
+    entries: Vec<LedgerEntry>,
+    index: HashMap<(Cow<'static, str>, EnergyKind), u32>,
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `joules` to the (account, kind) bucket, creating it on
+    /// first use.
+    pub fn add(&mut self, account: impl Into<Cow<'static, str>>, kind: EnergyKind, joules: f64) {
+        let account = account.into();
+        let key = (account.clone(), kind);
+        if let Some(&i) = self.index.get(&key) {
+            self.entries[i as usize].joules += joules;
+            return;
+        }
+        let i = self.entries.len() as u32;
+        self.index.insert(key, i);
+        self.entries.push(LedgerEntry {
+            account,
+            kind,
+            joules,
+        });
+    }
+
+    /// Convenience: add a typed [`Joules`] amount.
+    pub fn add_joules(
+        &mut self,
+        account: impl Into<Cow<'static, str>>,
+        kind: EnergyKind,
+        joules: Joules,
+    ) {
+        self.add(account, kind, joules.value());
+    }
+
+    /// Accumulated joules for (account, kind), if the bucket exists.
+    pub fn get(&self, account: &str, kind: EnergyKind) -> Option<f64> {
+        self.index
+            .get(&(Cow::Borrowed(account), kind))
+            .map(|&i| self.entries[i as usize].joules)
+    }
+
+    /// Total joules across all accounts of one kind.
+    pub fn total(&self, kind: EnergyKind) -> f64 {
+        // fold from +0.0: `Sum for f64` starts at -0.0, which renders
+        // as "-0" for kinds with no entries.
+        self.entries
+            .iter()
+            .filter(|e| e.kind == kind)
+            .fold(0.0, |acc, e| acc + e.joules)
+    }
+
+    /// Entries in insertion order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// True when no energy has been booked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds `other` into `self`, adding joules bucket-wise. Buckets
+    /// unseen by `self` are appended in `other`'s order.
+    pub fn merge_from(&mut self, other: &EnergyLedger) {
+        for e in &other.entries {
+            self.add(e.account.clone(), e.kind, e.joules);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_per_bucket() {
+        let mut l = EnergyLedger::new();
+        l.add("domain/vdd", EnergyKind::Dissipated, 1.0);
+        l.add("domain/vdd", EnergyKind::Dissipated, 2.0);
+        l.add("domain/vdd", EnergyKind::Leaked, 0.5);
+        assert_eq!(l.get("domain/vdd", EnergyKind::Dissipated), Some(3.0));
+        assert_eq!(l.get("domain/vdd", EnergyKind::Leaked), Some(0.5));
+        assert_eq!(l.entries().len(), 2);
+        assert_eq!(l.total(EnergyKind::Dissipated), 3.0);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise() {
+        let mut a = EnergyLedger::new();
+        a.add("op/read", EnergyKind::Dissipated, 1.0);
+        let mut b = EnergyLedger::new();
+        b.add("op/read", EnergyKind::Dissipated, 2.0);
+        b.add("op/write", EnergyKind::Dissipated, 4.0);
+        a.merge_from(&b);
+        assert_eq!(a.get("op/read", EnergyKind::Dissipated), Some(3.0));
+        assert_eq!(a.get("op/write", EnergyKind::Dissipated), Some(4.0));
+    }
+
+    #[test]
+    fn typed_joules_entry() {
+        let mut l = EnergyLedger::new();
+        l.add_joules("op/convert", EnergyKind::Harvested, Joules(2e-12));
+        assert_eq!(l.get("op/convert", EnergyKind::Harvested), Some(2e-12));
+    }
+}

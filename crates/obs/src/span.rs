@@ -1,0 +1,109 @@
+//! Sim-time span tracing.
+//!
+//! A span is a completed `[start, end]` interval in **simulated
+//! seconds** — never wall-clock. Because every field is derived from
+//! the workload, a span log is reproducible run-to-run and identical
+//! at any worker-thread count. `track` is a small integer lane used by
+//! the Chrome trace exporter as the thread id (tid), so related spans
+//! (one power domain, one campaign run) group onto one swimlane.
+
+use std::borrow::Cow;
+
+/// One completed sim-time interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Human-readable name (`read@0x2a`, `conversion`).
+    pub name: Cow<'static, str>,
+    /// Category for grouping/filtering (`sram`, `sensor`, `campaign`).
+    pub cat: Cow<'static, str>,
+    /// Display lane; maps to `tid` in Chrome traces.
+    pub track: u32,
+    /// Start, simulated seconds.
+    pub start: f64,
+    /// End, simulated seconds; `end >= start`.
+    pub end: f64,
+}
+
+impl Span {
+    /// Span duration in simulated seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An append-only log of completed spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanLog {
+    spans: Vec<Span>,
+}
+
+impl SpanLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a completed span.
+    pub fn record(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        cat: impl Into<Cow<'static, str>>,
+        track: u32,
+        start: f64,
+        end: f64,
+    ) {
+        debug_assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span {
+            name: name.into(),
+            cat: cat.into(),
+            track,
+            start,
+            end,
+        });
+    }
+
+    /// Spans in record order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Appends all of `other`'s spans, preserving their order.
+    pub fn merge_from(&mut self, other: &SpanLog) {
+        self.spans.extend(other.spans.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_duration() {
+        let mut log = SpanLog::new();
+        log.record("read", "sram", 0, 1e-9, 3e-9);
+        assert_eq!(log.len(), 1);
+        let s = &log.spans()[0];
+        assert!((s.duration() - 2e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let mut a = SpanLog::new();
+        a.record("x", "c", 0, 0.0, 1.0);
+        let mut b = SpanLog::new();
+        b.record("y", "c", 1, 1.0, 2.0);
+        a.merge_from(&b);
+        assert_eq!(a.spans()[0].name, "x");
+        assert_eq!(a.spans()[1].name, "y");
+    }
+}

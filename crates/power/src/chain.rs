@@ -1,5 +1,6 @@
 //! The composed power chain: harvester → storage → DC-DC → load.
 
+use emc_obs::{EnergyKind, Telemetry};
 use emc_units::{Hertz, Joules, Seconds, Volts, Watts, Waveform};
 
 use crate::converter::DcDcConverter;
@@ -133,6 +134,36 @@ impl PowerChain {
         self.now = Seconds(self.now.0 + dt.0);
         delivered
     }
+
+    /// A telemetry snapshot of the chain so far: every stage of the
+    /// cumulative [`ChainReport`] as a `chain/<stage>` ledger account,
+    /// the reservoir's current stored energy, and efficiency / deficit /
+    /// reservoir-voltage gauges. Accounts are booked in a fixed order,
+    /// so the snapshot exports identical bytes for identical runs.
+    pub fn telemetry(&self) -> Telemetry {
+        let mut t = Telemetry::new();
+        let r = &self.report;
+        t.energy
+            .add_joules("chain/harvested", EnergyKind::Harvested, r.harvested);
+        t.energy
+            .add_joules("chain/spilled", EnergyKind::Leaked, r.spilled);
+        t.energy
+            .add_joules("chain/delivered", EnergyKind::Dissipated, r.delivered);
+        t.energy
+            .add_joules("chain/conversion", EnergyKind::Leaked, r.conversion_loss);
+        t.energy.add_joules(
+            "chain/reservoir",
+            EnergyKind::Stored,
+            self.storage.stored_energy(),
+        );
+        let g = t.metrics.gauge("chain.efficiency");
+        t.metrics.set_gauge(g, r.end_to_end_efficiency());
+        let g = t.metrics.gauge("chain.deficit_j");
+        t.metrics.set_gauge(g, r.deficit.0);
+        let g = t.metrics.gauge("chain.reservoir.voltage_v");
+        t.metrics.set_gauge(g, self.storage.voltage().0);
+        t
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +275,43 @@ mod tests {
     #[test]
     fn report_efficiency_zero_when_nothing_harvested() {
         assert_eq!(ChainReport::default().end_to_end_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_the_report() {
+        let mut c = chain_100uw();
+        for _ in 0..50 {
+            c.tick(Seconds(1e-3), Watts(0.0));
+        }
+        for _ in 0..50 {
+            c.tick(Seconds(1e-3), Watts(30e-6));
+        }
+        let t = c.telemetry();
+        let r = c.report();
+        assert_eq!(
+            t.energy.get("chain/harvested", EnergyKind::Harvested),
+            Some(r.harvested.0)
+        );
+        assert_eq!(
+            t.energy.get("chain/delivered", EnergyKind::Dissipated),
+            Some(r.delivered.0)
+        );
+        assert_eq!(
+            t.energy.get("chain/conversion", EnergyKind::Leaked),
+            Some(r.conversion_loss.0)
+        );
+        assert_eq!(
+            t.energy.get("chain/reservoir", EnergyKind::Stored),
+            Some(c.storage().stored_energy().0)
+        );
+        assert_eq!(
+            t.metrics.gauge_value("chain.efficiency"),
+            Some(r.end_to_end_efficiency())
+        );
+        assert_eq!(
+            t.metrics.gauge_value("chain.reservoir.voltage_v"),
+            Some(c.storage().voltage().0)
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use emc_async::{SelfTimedOscillator, ToggleRippleCounter};
 use emc_device::DeviceModel;
 use emc_netlist::Netlist;
+use emc_obs::Telemetry;
 use emc_sim::{Simulator, SupplyKind};
 use emc_units::{Coulombs, Farads, Joules, Seconds, Volts};
 
@@ -90,6 +91,32 @@ impl ChargeToDigitalConverter {
     ///
     /// Panics if `vin` is negative.
     pub fn convert(&self, vin: Volts) -> ConversionResult {
+        self.run_conversion(vin, false).0
+    }
+
+    /// [`Self::convert`], also returning the conversion's telemetry:
+    /// the internal simulator's bundle (event counts, `domain/cs`
+    /// energy split) plus sensor-level metrics — conversion count, the
+    /// code, charge-per-count — and a sim-time `conversion` span. The
+    /// [`ConversionResult`] is identical to an unobserved conversion.
+    pub fn convert_instrumented(&self, vin: Volts) -> (ConversionResult, Telemetry) {
+        let (result, t) = self.run_conversion(vin, true);
+        let mut t = t.expect("telemetry requested");
+        let c = t.metrics.counter("sensor.conversions");
+        t.metrics.inc(c, 1);
+        let g = t.metrics.gauge("sensor.code");
+        t.metrics.set_gauge(g, result.code as f64);
+        if result.code > 0 {
+            let g = t.metrics.gauge("sensor.charge_per_count_c");
+            t.metrics
+                .set_gauge(g, result.charge_used.0 / result.code as f64);
+        }
+        t.spans
+            .record("conversion", "sensor", 0, 0.0, result.duration.0);
+        (result, t)
+    }
+
+    fn run_conversion(&self, vin: Volts, observe: bool) -> (ConversionResult, Option<Telemetry>) {
         assert!(vin.0 >= 0.0, "negative sample voltage");
         let mut nl = Netlist::new();
         let osc = SelfTimedOscillator::build(&mut nl, "osc");
@@ -98,11 +125,14 @@ impl ChargeToDigitalConverter {
         let cap = sim.add_domain("cs", SupplyKind::capacitor(self.c_sample, vin));
         sim.assign_all(cap);
         osc.prime(&mut sim);
+        if observe {
+            sim.enable_obs();
+        }
         sim.start();
         // Run until the rail stalls (queue drains) — bounded generously.
         sim.run_to_quiescence(50_000_000);
         let q0 = self.c_sample * vin;
-        ConversionResult {
+        let result = ConversionResult {
             code: sim.transition_count(counter.toggles()[0]),
             register: counter.read(&sim),
             transitions: sim.total_transitions(),
@@ -110,7 +140,9 @@ impl ChargeToDigitalConverter {
             energy: sim.energy_drawn(cap),
             v_residual: sim.domain_voltage(cap),
             charge_used: q0 - sim.domain(cap).charge(),
-        }
+        };
+        let telemetry = observe.then(|| sim.telemetry());
+        (result, telemetry)
     }
 
     /// Sweeps `convert` over `n` input voltages in `[v_lo, v_hi]` — the
@@ -284,5 +316,38 @@ mod tests {
     #[should_panic(expected = "width must be")]
     fn zero_bits_panics() {
         let _ = ChargeToDigitalConverter::new(Farads(1e-12), 0);
+    }
+
+    #[test]
+    fn instrumented_conversion_matches_plain_and_books_telemetry() {
+        use emc_obs::EnergyKind;
+        let conv = cdc();
+        let plain = conv.convert(Volts(0.8));
+        let (observed, t) = conv.convert_instrumented(Volts(0.8));
+        assert_eq!(observed, plain, "observation must not perturb the result");
+        assert_eq!(t.metrics.counter_value("sensor.conversions"), Some(1));
+        assert_eq!(
+            t.metrics.gauge_value("sensor.code"),
+            Some(observed.code as f64)
+        );
+        let cpc = t
+            .metrics
+            .gauge_value("sensor.charge_per_count_c")
+            .expect("nonzero code books charge per count");
+        assert!((cpc - observed.charge_used.0 / observed.code as f64).abs() < 1e-30);
+        // The internal simulator contributes the capacitor-domain ledger.
+        let drained = t
+            .energy
+            .get("domain/cs", EnergyKind::Dissipated)
+            .expect("domain/cs dissipation entry");
+        assert!(drained > 0.0);
+        // One sim-time span covering the whole conversion.
+        let span = t
+            .spans
+            .spans()
+            .iter()
+            .find(|s| s.name == "conversion")
+            .expect("conversion span");
+        assert!((span.end - observed.duration.0).abs() < 1e-18);
     }
 }

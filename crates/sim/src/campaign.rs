@@ -87,6 +87,7 @@ use std::time::{Duration, Instant};
 
 use emc_device::DeviceModel;
 use emc_netlist::Netlist;
+use emc_obs::Telemetry;
 use emc_prng::SplitMix64;
 use emc_units::{Joules, Seconds};
 
@@ -163,6 +164,11 @@ pub struct RunReport {
     pub trace_digest: u64,
     /// The figure-row payload: whatever numbers the experiment sweeps.
     pub values: Vec<f64>,
+    /// The run's telemetry bundle, when the run was observed.
+    ///
+    /// Deliberately **excluded from [`RunReport::fold_into`]** so that
+    /// enabling observability can never move a pinned campaign digest.
+    pub telemetry: Option<Box<Telemetry>>,
 }
 
 impl RunReport {
@@ -178,11 +184,14 @@ impl RunReport {
             hazards: 0,
             trace_digest: 0,
             values,
+            telemetry: None,
         }
     }
 
     /// Collects stats, total domain energy, hazard count and trace
-    /// digest from a finished simulator.
+    /// digest from a finished simulator. When the simulator's
+    /// observability is enabled ([`Simulator::enable_obs`]), its
+    /// telemetry snapshot rides along on the report.
     pub fn from_sim(sim: &Simulator, ctx: &RunContext, stats: RunStats, values: Vec<f64>) -> Self {
         let energy = (0..sim.domain_count())
             .map(|i| sim.energy_drawn(sim.domain_id(i)).0)
@@ -195,7 +204,15 @@ impl RunReport {
             hazards: sim.hazards().len() as u64,
             trace_digest: sim.trace().digest(),
             values,
+            telemetry: sim.obs_enabled().then(|| Box::new(sim.telemetry())),
         }
+    }
+
+    /// Attaches a telemetry bundle (builder style) — for jobs that
+    /// build their telemetry outside the event simulator.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(Box::new(telemetry));
+        self
     }
 
     fn fold_into(&self, h: &mut Fnv) {
@@ -279,6 +296,20 @@ impl CampaignReport {
     /// shape `emc_bench::Series` consumes directly.
     pub fn rows(&self) -> Vec<Vec<f64>> {
         self.runs.iter().map(|r| r.values.clone()).collect()
+    }
+
+    /// Folds every observed run's telemetry into one bundle, in
+    /// submission-index order. Because the fold order is the run index —
+    /// never the completion order — the merged bundle (and anything
+    /// exported from it) is identical at any thread count.
+    pub fn merged_telemetry(&self) -> Telemetry {
+        let mut t = Telemetry::new();
+        for r in &self.runs {
+            if let Some(rt) = &r.telemetry {
+                t.merge_from(rt);
+            }
+        }
+        t
     }
 }
 

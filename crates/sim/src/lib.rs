@@ -62,6 +62,7 @@
 pub mod campaign;
 pub mod delay;
 pub mod domain;
+mod obs;
 pub mod simulator;
 pub mod sta;
 pub mod trace;
@@ -75,4 +76,4 @@ pub use domain::{DomainId, PowerDomain, SupplyKind};
 pub use simulator::{ActivityRecord, FiredEvent, Hazard, RunStats, Simulator};
 pub use sta::{longest_path, StaReport};
 pub use trace::{Trace, TraceEntry};
-pub use vcd::to_vcd;
+pub use vcd::{to_vcd, to_vcd_with_analog, AnalogTrack};

@@ -1,0 +1,60 @@
+//! Simulator-side observability: live hot-path counters plus a
+//! snapshot that derives the rest of the telemetry from state the
+//! simulator already keeps.
+//!
+//! The split matters for overhead: only quantities that cannot be
+//! reconstructed afterwards (event counts, queue-depth distribution,
+//! stale drops, recharge energy) are recorded live, behind one
+//! `Option` check per event. Everything else — per-domain energy
+//! breakdowns, per-gate-group attribution, rail voltages — is read out
+//! of the simulator's own bookkeeping when [`Simulator::telemetry`] is
+//! called, at zero cost to the event loop.
+//!
+//! [`Simulator::telemetry`]: crate::Simulator::telemetry
+
+use emc_obs::metrics::pow2_bounds;
+use emc_obs::{CounterId, EnergyKind, GaugeId, HistogramId, Telemetry};
+
+/// Live instrumentation state owned by an observed simulator.
+#[derive(Debug, Clone)]
+pub(crate) struct SimObs {
+    pub(crate) telemetry: Telemetry,
+    pub(crate) events_fired: CounterId,
+    pub(crate) windows: CounterId,
+    pub(crate) stale_drops: CounterId,
+    pub(crate) queue_depth: HistogramId,
+    pub(crate) queue_high_water: GaugeId,
+}
+
+impl SimObs {
+    pub(crate) fn new() -> Self {
+        let mut telemetry = Telemetry::new();
+        let events_fired = telemetry.metrics.counter("sim.events_fired");
+        let windows = telemetry.metrics.counter("sim.windows_progressed");
+        let stale_drops = telemetry.metrics.counter("sim.stale_events_dropped");
+        let queue_depth = telemetry
+            .metrics
+            .histogram("sim.queue.depth", &pow2_bounds(16));
+        let queue_high_water = telemetry.metrics.gauge("sim.queue.high_water");
+        Self {
+            telemetry,
+            events_fired,
+            windows,
+            stale_drops,
+            queue_depth,
+            queue_high_water,
+        }
+    }
+
+    /// Books the energy restored into a recharged capacitor domain as
+    /// harvested joules on `domain/<name>`.
+    pub(crate) fn record_recharge(&mut self, domain_name: &str, joules: f64) {
+        if joules > 0.0 {
+            self.telemetry.energy.add(
+                format!("domain/{domain_name}"),
+                EnergyKind::Harvested,
+                joules,
+            );
+        }
+    }
+}

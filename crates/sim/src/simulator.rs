@@ -6,10 +6,12 @@ use std::collections::BinaryHeap;
 
 use emc_device::DeviceModel;
 use emc_netlist::{GateId, GateKind, NetId, Netlist};
+use emc_obs::{EnergyKind, Telemetry};
 use emc_units::{Farads, Joules, Seconds, Volts, Watts};
 
 use crate::delay::{completion_time, Completion};
 use crate::domain::{DomainId, PowerDomain, SupplyKind};
+use crate::obs::SimObs;
 use crate::trace::Trace;
 
 /// A transition the simulator has committed to the circuit state.
@@ -153,6 +155,9 @@ pub struct Simulator {
     /// `(voltage bits, watts)` memo for the device leakage law (also an
     /// `exp`), shared by all domains — the key is the voltage alone.
     leak_memo: Cell<(u64, f64)>,
+    /// Live observability state; `None` (the default) keeps the event
+    /// loop's only obs cost at one pointer-is-null branch per event.
+    obs: Option<Box<SimObs>>,
 }
 
 /// Memo key that no rail voltage produces: a quiet-NaN bit pattern. A
@@ -201,6 +206,7 @@ impl Simulator {
             window_steps: 4096.0,
             delay_memo: vec![Cell::new((MEMO_INVALID, 0.0)); gates],
             leak_memo: Cell::new((MEMO_INVALID, 0.0)),
+            obs: None,
         }
     }
 
@@ -426,6 +432,70 @@ impl Simulator {
         &self.hazards
     }
 
+    /// Turns on live observability: event counts, queue-depth
+    /// distribution, stale-drop counts and recharge energy are recorded
+    /// from here on. Idempotent; leaves the event loop untouched when
+    /// never called.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::new(SimObs::new()));
+        }
+    }
+
+    /// `true` once [`Simulator::enable_obs`] has been called.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Snapshots this simulator's telemetry: the live hot-path metrics
+    /// (when enabled) plus everything derivable from the simulator's
+    /// own bookkeeping — totals, per-domain energy split and rail
+    /// voltages, and switching energy attributed per gate group (the
+    /// output-net name up to the first `.`).
+    ///
+    /// Works with observability disabled too; the live counters are
+    /// simply absent then.
+    pub fn telemetry(&self) -> Telemetry {
+        let mut t = match &self.obs {
+            Some(o) => o.telemetry.clone(),
+            None => Telemetry::new(),
+        };
+        let c = t.metrics.counter("sim.transitions_total");
+        t.metrics.inc(c, self.total_transitions());
+        let c = t.metrics.counter("sim.hazards");
+        t.metrics.inc(c, self.hazards.len() as u64);
+        for d in &self.domains {
+            let g = t
+                .metrics
+                .gauge(format!("sim.domain.voltage_v{{domain=\"{}\"}}", d.name()));
+            t.metrics.set_gauge(g, d.voltage(self.now).0);
+            let account = format!("domain/{}", d.name());
+            t.energy.add(
+                account.clone(),
+                EnergyKind::Dissipated,
+                d.switching_energy().0,
+            );
+            t.energy
+                .add(account.clone(), EnergyKind::Leaked, d.leakage_energy().0);
+            if let SupplyKind::Capacitor { capacitance, .. } = d.kind() {
+                let stored = capacitance.stored_energy(d.voltage(self.now));
+                t.energy.add(account, EnergyKind::Stored, stored.0);
+            }
+        }
+        for i in 0..self.netlist.gate_count() {
+            let e = self.gate_energy[i].0;
+            if e <= 0.0 {
+                continue;
+            }
+            let gate = self.netlist.gate_id(i);
+            let name = self.netlist.net_name(self.netlist.gate_ref(gate).output());
+            let prefix = name.split('.').next().unwrap_or(name);
+            t.energy
+                .add(format!("group/{prefix}"), EnergyKind::Dissipated, e);
+        }
+        t
+    }
+
     /// Injects a stuck-at fault: `gate`'s output is forced to `value`
     /// from the current simulation time on and never switches again.
     ///
@@ -467,6 +537,18 @@ impl Simulator {
     ///
     /// Panics if the domain is ideal.
     pub fn recharge_domain(&mut self, domain: DomainId, v: Volts) {
+        if self.obs.is_some() {
+            let d = &self.domains[domain.0];
+            if let SupplyKind::Capacitor { capacitance, .. } = d.kind() {
+                let delta =
+                    capacitance.stored_energy(v) - capacitance.stored_energy(d.voltage(self.now));
+                let name = d.name().to_owned();
+                self.obs
+                    .as_deref_mut()
+                    .expect("obs just checked")
+                    .record_recharge(&name, delta.0);
+            }
+        }
         self.domains[domain.0].recharge(v);
         for idx in 0..self.netlist.gate_count() {
             if self.gate_domain[idx] != Some(domain) {
@@ -496,6 +578,9 @@ impl Simulator {
             let kind = self.netlist.gate_ref(gate).kind();
             // Stale (cancelled or superseded) entries are dropped.
             if kind != GateKind::Input && ev.epoch != self.epochs[ev.gate] {
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.telemetry.metrics.inc(obs.stale_drops, 1);
+                }
                 continue;
             }
             self.now = Seconds(self.now.0.max(ev.time));
@@ -503,6 +588,9 @@ impl Simulator {
                 // Integration-window boundary: resume the work integral.
                 self.pending[ev.gate] = None;
                 self.schedule_transition_with_progress(gate, ev.value, self.now, ev.progress);
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.telemetry.metrics.inc(obs.windows, 1);
+                }
                 return StepOutcome::Progressed;
             }
             let out_net = self.netlist.gate_ref(gate).output();
@@ -512,6 +600,15 @@ impl Simulator {
                 }
             } else {
                 self.pending[ev.gate] = None;
+            }
+            if self.obs.is_some() {
+                let depth = self.queue.len() as f64;
+                let obs = self.obs.as_deref_mut().expect("obs just checked");
+                obs.telemetry.metrics.inc(obs.events_fired, 1);
+                obs.telemetry.metrics.observe(obs.queue_depth, depth);
+                obs.telemetry
+                    .metrics
+                    .raise_gauge(obs.queue_high_water, depth);
             }
             return StepOutcome::Fired(self.commit(gate, out_net, ev.value, Seconds(ev.time)));
         }

@@ -156,6 +156,52 @@ mod tests {
     }
 
     #[test]
+    fn digest_pins_the_hash_constants_and_byte_layout() {
+        // The empty trace digests to the FNV-1a offset basis; a fixed
+        // three-entry trace digests to a pinned literal. Either assert
+        // failing means the hash constants or the byte layout changed —
+        // which silently invalidates every golden digest in the repo.
+        assert_eq!(Trace::new().digest(), 0xcbf2_9ce4_8422_2325);
+        let (a, b) = nets();
+        let mut tr = Trace::new();
+        tr.record(Seconds(1e-9), a, true);
+        tr.record(Seconds(2e-9), b, true);
+        tr.record(Seconds(3e-9), a, false);
+        assert_eq!(tr.digest(), 0x0448_4e4f_e513_a9f3);
+    }
+
+    #[test]
+    fn digest_is_reproducible_and_order_sensitive() {
+        let (a, b) = nets();
+        let mut build = |entries: &[(f64, NetId, bool)]| {
+            let mut tr = Trace::new();
+            for &(t, n, v) in entries {
+                tr.record(Seconds(t), n, v);
+            }
+            tr.digest()
+        };
+        let base = [(1e-9, a, true), (2e-9, b, false)];
+        assert_eq!(build(&base), build(&base), "same entries, same digest");
+        // Each field of each entry is load-bearing.
+        assert_ne!(build(&base), build(&[(2e-9, b, false), (1e-9, a, true)]));
+        assert_ne!(build(&base), build(&[(1.5e-9, a, true), (2e-9, b, false)]));
+        assert_ne!(build(&base), build(&[(1e-9, b, true), (2e-9, b, false)]));
+        assert_ne!(build(&base), build(&[(1e-9, a, false), (2e-9, b, false)]));
+        // A prefix digests differently from the full sequence.
+        assert_ne!(build(&base), build(&base[..1]));
+    }
+
+    #[test]
+    fn clone_preserves_digest() {
+        let (a, _) = nets();
+        let mut tr = Trace::new();
+        tr.record(Seconds(5e-9), a, true);
+        assert_eq!(tr.clone().digest(), tr.digest());
+        tr.clear();
+        assert_eq!(tr.digest(), Trace::new().digest());
+    }
+
+    #[test]
     fn clear_empties() {
         let (a, _) = nets();
         let mut tr = Trace::new();

@@ -1,6 +1,10 @@
 //! The SRAM macro: storage, access engines and timing disciplines.
 
+use std::cell::RefCell;
+
 use emc_device::DeviceModel;
+use emc_obs::metrics::latency_bounds;
+use emc_obs::{CounterId, EnergyKind, HistogramId, Telemetry};
 use emc_sim::delay::{completion_time, Completion};
 use emc_units::{Joules, Seconds, Volts, Waveform};
 
@@ -96,6 +100,74 @@ pub struct AccessOutcome {
     pub completed: bool,
 }
 
+/// Live access instrumentation of an observed [`Sram`].
+///
+/// Sits in a `RefCell` because reads take `&self`; every access makes
+/// one short, non-reentrant `borrow_mut`.
+#[derive(Debug, Clone)]
+struct SramObs {
+    telemetry: Telemetry,
+    reads: CounterId,
+    writes: CounterId,
+    mistimed: CounterId,
+    incomplete: CounterId,
+    read_latency: HistogramId,
+    write_latency: HistogramId,
+}
+
+impl SramObs {
+    fn new() -> Self {
+        let mut telemetry = Telemetry::new();
+        let reads = telemetry.metrics.counter("sram.reads");
+        let writes = telemetry.metrics.counter("sram.writes");
+        let mistimed = telemetry.metrics.counter("sram.accesses_mistimed");
+        let incomplete = telemetry.metrics.counter("sram.accesses_incomplete");
+        // 1 ns up through tens of ms: nominal-Vdd reads to deep
+        // sub-threshold stalls.
+        let bounds = latency_bounds(1e-9, 8);
+        let read_latency = telemetry.metrics.histogram("sram.read.latency_s", &bounds);
+        let write_latency = telemetry.metrics.histogram("sram.write.latency_s", &bounds);
+        Self {
+            telemetry,
+            reads,
+            writes,
+            mistimed,
+            incomplete,
+            read_latency,
+            write_latency,
+        }
+    }
+
+    fn record(&mut self, op: Op, out: &AccessOutcome) {
+        let (count, latency, account) = match op {
+            Op::Read => (self.reads, self.read_latency, "op/read"),
+            Op::Write => (self.writes, self.write_latency, "op/write"),
+        };
+        self.telemetry.metrics.inc(count, 1);
+        if out.completed {
+            self.telemetry.metrics.observe(latency, out.latency.0);
+        } else {
+            self.telemetry.metrics.inc(self.incomplete, 1);
+        }
+        if !out.correct {
+            self.telemetry.metrics.inc(self.mistimed, 1);
+        }
+        self.telemetry
+            .energy
+            .add(account, EnergyKind::Dissipated, out.energy.0);
+    }
+
+    fn record_span(&mut self, op: Op, addr: usize, t0: Seconds, t_end: Seconds) {
+        let name = match op {
+            Op::Read => format!("read@{addr:#x}"),
+            Op::Write => format!("write@{addr:#x}"),
+        };
+        self.telemetry
+            .spans
+            .record(name, "sram", addr as u32, t0.0, t_end.0);
+    }
+}
+
 /// The SRAM macro with live storage.
 #[derive(Debug, Clone)]
 pub struct Sram {
@@ -109,6 +181,8 @@ pub struct Sram {
     completion_phases: usize,
     /// Cached sensing floor: reads below this voltage are unreliable.
     min_operating: Option<Volts>,
+    /// Access instrumentation; `None` until [`Sram::enable_obs`].
+    obs: Option<RefCell<SramObs>>,
 }
 
 impl Sram {
@@ -143,6 +217,30 @@ impl Sram {
             completion_phases,
             min_operating,
             config,
+            obs: None,
+        }
+    }
+
+    /// Turns on access instrumentation: counts, latency histograms,
+    /// per-operation energy accounts and (for the `*_under` engines)
+    /// sim-time access spans. Idempotent.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(RefCell::new(SramObs::new()));
+        }
+    }
+
+    /// `true` once [`Sram::enable_obs`] has been called.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Snapshots the access telemetry recorded so far (empty when
+    /// observability was never enabled).
+    pub fn telemetry(&self) -> Telemetry {
+        match &self.obs {
+            Some(o) => o.borrow().telemetry.clone(),
+            None => Telemetry::new(),
         }
     }
 
@@ -260,7 +358,7 @@ impl Sram {
         let energy =
             self.energy.access_energy(&self.timing, Op::Read, vdd) * Self::energy_factor(disc);
         let completed = latency.0.is_finite();
-        AccessOutcome {
+        let outcome = AccessOutcome {
             data: if correct && completed {
                 Some(word)
             } else {
@@ -270,7 +368,11 @@ impl Sram {
             latency,
             energy: if completed { energy } else { Joules(0.0) },
             completed,
+        };
+        if let Some(o) = &self.obs {
+            o.borrow_mut().record(Op::Read, &outcome);
         }
+        outcome
     }
 
     /// Writes `word` to `addr` at constant `vdd`. A mistimed bundled
@@ -305,13 +407,17 @@ impl Sram {
         }
         let energy =
             self.energy.access_energy(&self.timing, Op::Write, vdd) * Self::energy_factor(disc);
-        AccessOutcome {
+        let outcome = AccessOutcome {
             data: Some(word),
             correct: correct && completed,
             latency,
             energy: if completed { energy } else { Joules(0.0) },
             completed,
+        };
+        if let Some(o) = &self.obs {
+            o.borrow_mut().record(Op::Write, &outcome);
         }
+        outcome
     }
 
     fn write_budget_fraction(&self, vdd: Volts, disc: TimingDiscipline) -> f64 {
@@ -360,13 +466,19 @@ impl Sram {
         } else {
             Joules(0.0)
         };
-        AccessOutcome {
+        let outcome = AccessOutcome {
             data: if correct { Some(word) } else { None },
             correct,
             latency: Seconds(t_end.0 - t0.0),
             energy,
             completed,
+        };
+        if let Some(o) = &self.obs {
+            let mut o = o.borrow_mut();
+            o.record(Op::Read, &outcome);
+            o.record_span(Op::Read, addr, t0, t_end);
         }
+        outcome
     }
 
     /// Writes under a time-varying supply (see [`Self::read_under`]).
@@ -395,13 +507,19 @@ impl Sram {
         } else {
             Joules(0.0)
         };
-        AccessOutcome {
+        let outcome = AccessOutcome {
             data: Some(word),
             correct: completed,
             latency: Seconds(t_end.0 - t0.0),
             energy,
             completed,
+        };
+        if let Some(o) = &self.obs {
+            let mut o = o.borrow_mut();
+            o.record(Op::Write, &outcome);
+            o.record_span(Op::Write, addr, t0, t_end);
         }
+        outcome
     }
 
     /// Runs the phase sequence (plus completion settles) under the
@@ -607,6 +725,46 @@ mod tests {
         // Inverter slowdown (~1000×) times the mismatch growth (~3×).
         let ratio = slow.0 / fast.0;
         assert!(ratio > 500.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn telemetry_counts_accesses_and_books_energy() {
+        let mut s = sram();
+        s.enable_obs();
+        let w = s.write_at(Volts(1.0), 0, 0xBEEF, TimingDiscipline::Completion);
+        let r = s.read_at(Volts(1.0), 0, TimingDiscipline::Completion);
+        let bad = s.read_at(Volts(0.25), 0, TimingDiscipline::bundled_nominal());
+        assert!(!bad.correct);
+        let t = s.telemetry();
+        assert_eq!(t.metrics.counter_value("sram.reads"), Some(2));
+        assert_eq!(t.metrics.counter_value("sram.writes"), Some(1));
+        assert_eq!(t.metrics.counter_value("sram.accesses_mistimed"), Some(1));
+        let booked = t
+            .energy
+            .get("op/read", EnergyKind::Dissipated)
+            .expect("read energy booked");
+        assert!((booked - (r.energy.0 + bad.energy.0)).abs() < 1e-20);
+        assert!(
+            (t.energy.get("op/write", EnergyKind::Dissipated).unwrap() - w.energy.0).abs() < 1e-20
+        );
+        // Spans only come from the *_under engines.
+        assert!(t.spans.is_empty());
+        let supply = Waveform::constant(0.8);
+        s.write_under(&supply, Seconds(0.0), 1, 0x55, Seconds(50e-9), Seconds(1.0));
+        let t = s.telemetry();
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans.spans()[0].cat, "sram");
+        assert!(t.spans.spans()[0].duration() > 0.0);
+    }
+
+    #[test]
+    fn disabled_obs_yields_empty_telemetry() {
+        let mut s = sram();
+        let _ = s.write_at(Volts(1.0), 0, 1, TimingDiscipline::Completion);
+        assert!(!s.obs_enabled());
+        let t = s.telemetry();
+        assert!(t.metrics.is_empty());
+        assert!(t.energy.is_empty());
     }
 
     #[test]

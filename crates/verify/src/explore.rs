@@ -34,6 +34,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 
 use emc_netlist::{Diagnostic, GateId, GateKind, NetId, Netlist, Severity};
+use emc_obs::metrics::pow2_bounds;
+use emc_obs::{CounterId, GaugeId, HistogramId, Telemetry};
 
 use crate::rails::{discover_rail_pairs, RailPair};
 
@@ -485,6 +487,46 @@ impl<'a> Explorer<'a> {
     /// `state_cap` states are ever recorded); hitting it yields an
     /// `XPL001` note and `exhaustive = false`.
     pub fn explore(&self) -> ExploreOutcome {
+        self.explore_impl(None)
+    }
+
+    /// [`Explorer::explore`] with telemetry: the outcome plus a bundle
+    /// recording states popped, transitions applied, the BFS frontier
+    /// depth distribution and high-water mark, final arena occupancy and
+    /// the diagnostic count. The exploration itself is unchanged — the
+    /// outcome is identical to an unobserved run.
+    pub fn explore_with_telemetry(&self) -> (ExploreOutcome, Telemetry) {
+        let mut t = Telemetry::new();
+        let outcome = self.explore_impl(Some(&mut t));
+        (outcome, t)
+    }
+
+    fn explore_impl(&self, telemetry: Option<&mut Telemetry>) -> ExploreOutcome {
+        // Pre-registered handles so the BFS loop's obs cost is one
+        // `Option` check plus array adds.
+        struct ExpObs<'t> {
+            t: &'t mut Telemetry,
+            pops: CounterId,
+            transitions: CounterId,
+            frontier: HistogramId,
+            frontier_high: GaugeId,
+        }
+        let mut obs = telemetry.map(|t| {
+            let pops = t.metrics.counter("verify.states_popped");
+            let transitions = t.metrics.counter("verify.transitions_applied");
+            let frontier = t
+                .metrics
+                .histogram("verify.frontier.depth", &pow2_bounds(24));
+            let frontier_high = t.metrics.gauge("verify.frontier.high_water");
+            ExpObs {
+                t,
+                pops,
+                transitions,
+                frontier,
+                frontier_high,
+            }
+        });
+
         let mut sink = Sink::new();
         let initial = self.initial_state();
         let mut interner = Interner::new();
@@ -505,6 +547,12 @@ impl<'a> Explorer<'a> {
         let mut overruns: Vec<GateId> = Vec::new();
 
         'bfs: while let Some(si) = queue.pop_front() {
+            if let Some(o) = obs.as_mut() {
+                o.t.metrics.inc(o.pops, 1);
+                let depth = queue.len() as f64;
+                o.t.metrics.observe(o.frontier, depth);
+                o.t.metrics.raise_gauge(o.frontier_high, depth);
+            }
             current.copy_from(interner.get(si));
             let s = &current;
             self.internal_enabled_into(s, &mut internal);
@@ -522,6 +570,9 @@ impl<'a> Explorer<'a> {
             };
 
             for t in internal.iter().chain(env.iter()) {
+                if let Some(o) = obs.as_mut() {
+                    o.t.metrics.inc(o.transitions, 1);
+                }
                 self.apply_into(s, t, &mut next, &mut overruns);
                 for &h in &overruns {
                     let out = self.netlist.gate_ref(h).output();
@@ -590,6 +641,12 @@ impl<'a> Explorer<'a> {
                     ),
                 ),
             );
+        }
+        if let Some(o) = obs.as_mut() {
+            let arena = o.t.metrics.gauge("verify.arena.states");
+            o.t.metrics.set_gauge(arena, interner.len() as f64);
+            let diags = o.t.metrics.counter("verify.diagnostics");
+            o.t.metrics.inc(diags, sink.diags.len() as u64);
         }
         ExploreOutcome {
             diagnostics: sink.diags,
@@ -788,6 +845,35 @@ mod tests {
         let out = ex.explore();
         assert!(out.exhaustive);
         assert_eq!(out.diagnostics, Vec::new());
+    }
+
+    #[test]
+    fn telemetry_matches_outcome_and_leaves_it_unchanged() {
+        let (nl, a) = glitch_circuit();
+        let env = flip_env(a);
+        let ex = Explorer::new(&nl, &env, &[], 1000);
+        let plain = ex.explore();
+        let (observed, t) = ex.explore_with_telemetry();
+        assert_eq!(plain.states, observed.states);
+        assert_eq!(plain.diagnostics, observed.diagnostics);
+        assert_eq!(
+            t.metrics.counter_value("verify.states_popped"),
+            Some(plain.states as u64)
+        );
+        assert_eq!(
+            t.metrics.gauge_value("verify.arena.states"),
+            Some(plain.states as f64)
+        );
+        assert_eq!(
+            t.metrics.counter_value("verify.diagnostics"),
+            Some(plain.diagnostics.len() as u64)
+        );
+        assert!(
+            t.metrics
+                .counter_value("verify.transitions_applied")
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`sched`] | `emc-sched` | schedulers, CTMC analysis, power games |
 //! | [`core`] | `emc-core` | QoS curves, hybrid control, the holistic loop |
 //! | [`verify`] | `emc-verify` | speed-independence checker and netlist lint |
+//! | [`obs`] | `emc-obs` | deterministic metrics, spans, energy ledger |
 //!
 //! # Examples
 //!
@@ -43,6 +44,7 @@ pub use emc_async as selftimed;
 pub use emc_core as core;
 pub use emc_device as device;
 pub use emc_netlist as netlist;
+pub use emc_obs as obs;
 pub use emc_petri as petri;
 pub use emc_power as power;
 pub use emc_prng as prng;
