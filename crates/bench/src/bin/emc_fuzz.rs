@@ -1,0 +1,214 @@
+//! `emc-fuzz` — seeded generative differential fuzzing front-end.
+//!
+//! Per seed: draw a circuit plan ([`emc_gen::Plan::from_seed`]), build
+//! it, and run the full [`emc_gen::check_generated`] pipeline —
+//! structural validation, exhaustive speed-independence verification,
+//! reachable-set membership of every simulated state, differential
+//! simulation under nominal / sub-threshold / AC-sine Vdd schedules
+//! with cross-schedule digest equality, and a byte-stable text
+//! round-trip.
+//!
+//! Seeds are expanded through the campaign engine (splitmix64 per
+//! index), and the whole sweep is run at 1, 2 and 8 worker threads with
+//! the campaign digests asserted identical — the report this binary
+//! prints is byte-identical at any thread count.
+//!
+//! On failure the offending plan is shrunk to a local minimum
+//! (parameters stepped down, block lists bisected and thinned) and the
+//! minimal netlist is written to `crates/gen/tests/fixtures/` with the
+//! seed in the filename, then the process exits non-zero.
+//!
+//! Flags: `--smoke` (small generation bounds and budgets, for the
+//! tier-1 gate), `--seeds N` (default 32), `--seed BASE` (default
+//! 2011), `--out PATH` (also write the report to a file). Flag errors
+//! are panics, like the other campaign binaries.
+
+use std::sync::Mutex;
+
+use emc_gen::{check_generated, shrink, CheckOptions, GenBounds, Plan};
+use emc_prng::SplitMix64;
+use emc_sim::campaign::{run_campaign, CampaignConfig, RunContext, RunReport};
+
+struct Args {
+    smoke: bool,
+    seeds: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seeds: 32,
+        seed: 2011,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seeds" => {
+                let v = it.next().expect("--seeds needs a value");
+                args.seeds = v.parse().expect("--seeds must be a usize");
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                args.seed = v.parse().expect("--seed must be a u64");
+            }
+            "--out" => args.out = Some(it.next().expect("--out needs a path")),
+            other => panic!("unknown flag {other} (try --smoke, --seeds, --seed, --out)"),
+        }
+    }
+    args
+}
+
+fn bounds_and_options(smoke: bool) -> (GenBounds, CheckOptions) {
+    if smoke {
+        (
+            GenBounds::smoke(),
+            CheckOptions {
+                state_cap: 60_000,
+                rounds: 6,
+            },
+        )
+    } else {
+        (
+            GenBounds::full(),
+            CheckOptions {
+                state_cap: 200_000,
+                rounds: 12,
+            },
+        )
+    }
+}
+
+fn fixture_path(seed: u64) -> std::path::PathBuf {
+    std::path::Path::new("crates/gen/tests/fixtures").join(format!("fuzz_seed{seed:016x}.emcnet"))
+}
+
+fn main() {
+    let args = parse_args();
+    let (bounds, opts) = bounds_and_options(args.smoke);
+
+    println!(
+        "== emc-fuzz — generative differential fuzzing ({}, {} seeds, base {}) ==",
+        if args.smoke { "smoke" } else { "full" },
+        args.seeds,
+        args.seed
+    );
+
+    let failures: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+    let jobs: Vec<usize> = (0..args.seeds).collect();
+    let worker = |_: &usize, ctx: &RunContext| -> RunReport {
+        let plan = Plan::from_seed(ctx.seed, &bounds);
+        let gc = plan.build();
+        let out = check_generated(&gc, ctx.seed, &opts);
+        if let Some(f) = &out.failure {
+            failures
+                .lock()
+                .expect("failure list poisoned")
+                .push((ctx.seed, f.clone()));
+        }
+        RunReport::from_values(
+            ctx,
+            vec![
+                out.gates as f64,
+                out.nets as f64,
+                out.verify_states as f64,
+                f64::from(u8::from(out.verify_exhaustive)),
+                f64::from_bits(out.digest),
+                out.fired_total as f64,
+                f64::from(u8::from(out.is_ok())),
+            ],
+        )
+    };
+
+    // The thread sweep is itself an assertion: the campaign digest (an
+    // FNV fold over every run's values, in index order) must not depend
+    // on the worker-thread count.
+    let mut reference = None;
+    let mut final_report = None;
+    for threads in [1usize, 2, 8] {
+        failures.lock().expect("failure list poisoned").clear();
+        let cfg = CampaignConfig::new(args.seed).threads(threads);
+        let report = run_campaign(&jobs, &cfg, worker);
+        let digest = report.digest();
+        match reference {
+            None => reference = Some(digest),
+            Some(r) => assert_eq!(
+                r, digest,
+                "campaign digest diverged at {threads} threads — determinism broken"
+            ),
+        }
+        println!(
+            "  sweep {threads}t: digest {digest:#018x} in {:.2} ms",
+            report.wall_clock.as_secs_f64() * 1e3
+        );
+        final_report = Some(report);
+    }
+    let report = final_report.expect("at least one sweep ran");
+
+    // The per-seed report, reconstructed from the index-ordered rows —
+    // byte-identical at every thread count by the assertion above.
+    let mut text = String::new();
+    let mut ok_count = 0usize;
+    let mut exhaustive_count = 0usize;
+    for run in &report.runs {
+        let seed = SplitMix64::mix(args.seed, run.index as u64);
+        debug_assert_eq!(seed, run.seed);
+        let plan = Plan::from_seed(run.seed, &bounds);
+        let v = &run.values;
+        let ok = v[6] != 0.0;
+        ok_count += usize::from(ok);
+        exhaustive_count += usize::from(v[3] != 0.0);
+        text.push_str(&format!(
+            "seed {:016x} {:28} gates={:5} states={:6} digest={:016x} {}\n",
+            run.seed,
+            plan.summary(),
+            v[0] as u64,
+            v[2] as u64,
+            v[4].to_bits(),
+            if ok { "ok" } else { "FAIL" },
+        ));
+    }
+    print!("{text}");
+    println!(
+        "  {}/{} seeds ok, {} exhaustively verified, campaign digest {:#018x}",
+        ok_count,
+        args.seeds,
+        exhaustive_count,
+        reference.expect("reference digest set")
+    );
+
+    if let Some(path) = &args.out {
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("  [saved {path}]");
+    }
+
+    let failed = failures.into_inner().expect("failure list poisoned");
+    if let Some((seed, message)) = failed.first() {
+        eprintln!("FAIL: seed {seed:016x}: {message}");
+        let plan = Plan::from_seed(*seed, &bounds);
+        let minimal = shrink(plan, |p| !check_generated(&p.build(), *seed, &opts).is_ok());
+        let gc = minimal.build();
+        let out = check_generated(&gc, *seed, &opts);
+        let path = fixture_path(*seed);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let body = format!(
+            "# emc-fuzz reproducer\n# seed {:016x}\n# plan {}\n# failure {}\n{}",
+            seed,
+            minimal.summary(),
+            out.failure
+                .as_deref()
+                .unwrap_or("(no longer fails after shrink)"),
+            emc_netlist::to_text(&gc.netlist)
+        );
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("  minimal reproducer written to {}", path.display()),
+            Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        }
+        std::process::exit(1);
+    }
+}

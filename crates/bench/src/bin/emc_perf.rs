@@ -42,6 +42,9 @@ struct Sizes {
     verify_repeats: usize,
     verify_smoke_suite: bool,
     campaign_jobs: usize,
+    gen_stages: usize,
+    gen_width: usize,
+    gen_rounds: usize,
 }
 
 impl Sizes {
@@ -54,6 +57,11 @@ impl Sizes {
             verify_repeats: 3,
             verify_smoke_suite: false,
             campaign_jobs: 16,
+            // 4000 stages × 64 bits of WCHB is 256 gates per stage plus
+            // the input rank: 1,024,128 gates — the million-gate floor.
+            gen_stages: 4000,
+            gen_width: 64,
+            gen_rounds: 192,
         }
     }
 
@@ -66,6 +74,9 @@ impl Sizes {
             verify_repeats: 1,
             verify_smoke_suite: true,
             campaign_jobs: 4,
+            gen_stages: 4,
+            gen_width: 2,
+            gen_rounds: 16,
         }
     }
 }
@@ -215,6 +226,30 @@ fn measure_campaign(jobs: usize, seed: u64) -> Vec<(usize, f64)> {
     rows
 }
 
+/// Throughput of the event kernel on a *generated* workload: a wide
+/// WCHB datapath from `emc-gen` (a million gates at full size), driven
+/// by the same seeded quiescence-paced environment replay the
+/// differential fuzzer uses. Returns `(gates, events, secs, events/s)`.
+fn measure_generated(
+    stages: usize,
+    width: usize,
+    rounds: usize,
+    seed: u64,
+) -> (usize, u64, f64, f64) {
+    let gc = emc_gen::wchb_datapath(stages, width, "mg");
+    let gates = gc.netlist.gate_count();
+    let t0 = Instant::now();
+    let diff = emc_gen::run_differential(&gc, emc_gen::Schedule::Nominal, seed, rounds, None);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(
+        diff.violation.is_none(),
+        "generated workload failed to settle: {:?}",
+        diff.violation
+    );
+    assert!(diff.fired > 0, "generated workload fired no events");
+    (gates, diff.fired, secs, diff.fired as f64 / secs)
+}
+
 /// Extracts `"key": <number>` from a flat JSON object this binary wrote.
 fn json_f64_field(text: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -301,6 +336,16 @@ fn main() {
         "  verify explorer  : {states} states in {verify_secs:.4} s  ({state_rate:.0} states/s)"
     );
 
+    let (gen_gates, gen_events, gen_secs, gen_rate) = measure_generated(
+        sizes.gen_stages,
+        sizes.gen_width,
+        sizes.gen_rounds,
+        args.seed,
+    );
+    println!(
+        "  sim  generated   : {gen_gates} gates, {gen_events} events in {gen_secs:.4} s  ({gen_rate:.0} events/s)"
+    );
+
     let campaign = measure_campaign(sizes.campaign_jobs, args.seed);
     for (threads, ms) in &campaign {
         println!("  campaign {threads}t      : {ms:.2} ms  (digest invariant held)");
@@ -350,6 +395,23 @@ fn main() {
     json.push_str(&format!(
         "  \"states_per_sec\": {},\n",
         json_number(state_rate)
+    ));
+    json.push_str(&format!(
+        "  \"gen_workload\": {},\n",
+        json_string("emc-gen wchb_datapath, seeded environment replay")
+    ));
+    json.push_str(&format!(
+        "  \"gen_gates\": {},\n",
+        json_number(gen_gates as f64)
+    ));
+    json.push_str(&format!(
+        "  \"gen_events\": {},\n",
+        json_number(gen_events as f64)
+    ));
+    json.push_str(&format!("  \"gen_secs\": {},\n", json_number(gen_secs)));
+    json.push_str(&format!(
+        "  \"gen_events_per_sec\": {},\n",
+        json_number(gen_rate)
     ));
     json.push_str(&format!(
         "  \"campaign_runs\": {},\n",

@@ -1,0 +1,221 @@
+//! Reusable environment models.
+//!
+//! The verifier's [`Environment`] is a boxed closure tied to one
+//! circuit; a generator needs something it can hand to the verifier
+//! *and* replay against a live [`emc_sim::Simulator`]. [`EnvModel`] is
+//! that shared form: an explicit protocol machine reading net values
+//! through the [`NetView`] abstraction, so the same model closes the
+//! circuit for exhaustive exploration and drives the event-driven
+//! simulation one action at a time.
+//!
+//! All models here are *fully reactive* (speed-independent): every
+//! action is enabled by observed net values alone, never by elapsed
+//! time or quiescence, so they are sound under the unbounded-delay
+//! model and under any Vdd schedule.
+
+use std::sync::Arc;
+
+use emc_netlist::{DualRail, NetId};
+use emc_sim::Simulator;
+use emc_verify::{EnvAction, EnvView, Environment};
+
+/// What an environment model may observe: current net values, plus the
+/// settledness flag fundamental-mode environments gate on.
+pub trait NetView {
+    /// The current value of `net`.
+    fn value(&self, net: NetId) -> bool;
+    /// `true` when the circuit has no excited or pending gate.
+    fn quiescent(&self) -> bool;
+}
+
+impl NetView for EnvView<'_> {
+    fn value(&self, net: NetId) -> bool {
+        EnvView::value(self, net)
+    }
+
+    fn quiescent(&self) -> bool {
+        EnvView::quiescent(self)
+    }
+}
+
+/// [`NetView`] over a live simulator. Only consulted at event-queue
+/// quiescence (the differential driver settles the simulator before
+/// asking the environment for actions), so `quiescent` is always true.
+pub struct SimView<'a>(pub &'a Simulator);
+
+impl NetView for SimView<'_> {
+    fn value(&self, net: NetId) -> bool {
+        self.0.value(net)
+    }
+
+    fn quiescent(&self) -> bool {
+        true
+    }
+}
+
+/// A sharable environment protocol machine: the generator-side
+/// counterpart of [`Environment`], usable both for verification and
+/// for driving a simulation.
+pub trait EnvModel: Send + Sync {
+    /// Initial control state (most models here are stateless).
+    fn initial(&self) -> u8 {
+        0
+    }
+
+    /// Enabled actions in control state `state` given the observed net
+    /// values. Must be deterministic in its arguments.
+    fn step(&self, state: u8, view: &dyn NetView) -> Vec<EnvAction>;
+}
+
+/// Adapts a shared [`EnvModel`] into the verifier's closure-based
+/// [`Environment`].
+pub fn to_environment(model: Arc<dyn EnvModel>) -> Environment<'static> {
+    let initial = model.initial();
+    Environment {
+        initial,
+        step: Box::new(move |state, view| model.step(state, view)),
+    }
+}
+
+fn act(net: NetId, value: bool) -> EnvAction {
+    EnvAction {
+        net,
+        value,
+        next: 0,
+    }
+}
+
+/// Four-phase dual-rail producer against a completion (`done`) signal:
+/// while `done` is low, offer either rail of every still-spacer pair (a
+/// free choice per pair); while `done` is high, drain whatever is high.
+/// `done` cannot rise until every pair is valid nor fall until every
+/// pair is back at spacer, which is exactly what makes the protocol
+/// speed-independent. Closes completion detectors, DIMS datapaths and
+/// DIMS block graphs.
+pub struct FillDrainEnv {
+    /// The environment-driven dual-rail input pairs.
+    pub pairs: Vec<DualRail>,
+    /// The circuit's completion output observed by the producer.
+    pub done: NetId,
+}
+
+impl EnvModel for FillDrainEnv {
+    fn step(&self, _state: u8, view: &dyn NetView) -> Vec<EnvAction> {
+        let mut acts = Vec::new();
+        if !view.value(self.done) {
+            for p in &self.pairs {
+                if !view.value(p.t) && !view.value(p.f) {
+                    acts.push(act(p.t, true));
+                    acts.push(act(p.f, true));
+                }
+            }
+        } else {
+            for p in &self.pairs {
+                for rail in [p.t, p.f] {
+                    if view.value(rail) {
+                        acts.push(act(rail, false));
+                    }
+                }
+            }
+        }
+        acts
+    }
+}
+
+/// Four-phase sender and receiver around a W-bit WCHB pipeline: the
+/// sender offers a fresh codeword (free rail choice per bit) from
+/// spacer while the stage-0 completion acknowledge is low, and drains
+/// once it rises; the receiver acknowledges when every output bit is
+/// valid and releases on all-spacer. The width-1 case is the builtin
+/// verification suite's WCHB environment.
+pub struct WchbEnv {
+    /// Input rails, LSB first.
+    pub inputs: Vec<DualRail>,
+    /// Stage-0 completion acknowledge observed by the sender.
+    pub sender_ack: NetId,
+    /// Final-stage rails observed by the receiver.
+    pub outputs: Vec<DualRail>,
+    /// The environment-driven sink acknowledge.
+    pub sink_ack: NetId,
+}
+
+impl EnvModel for WchbEnv {
+    fn step(&self, _state: u8, view: &dyn NetView) -> Vec<EnvAction> {
+        let mut acts = Vec::new();
+        let ack = view.value(self.sender_ack);
+        for p in &self.inputs {
+            let (t, f) = (view.value(p.t), view.value(p.f));
+            if !t && !f && !ack {
+                acts.push(act(p.t, true));
+                acts.push(act(p.f, true));
+            }
+            if t && ack {
+                acts.push(act(p.t, false));
+            }
+            if f && ack {
+                acts.push(act(p.f, false));
+            }
+        }
+        let all_valid = self
+            .outputs
+            .iter()
+            .all(|p| view.value(p.t) ^ view.value(p.f));
+        let all_spacer = self
+            .outputs
+            .iter()
+            .all(|p| !view.value(p.t) && !view.value(p.f));
+        if all_valid && !view.value(self.sink_ack) {
+            acts.push(act(self.sink_ack, true));
+        }
+        if all_spacer && view.value(self.sink_ack) {
+            acts.push(act(self.sink_ack, false));
+        }
+        acts
+    }
+}
+
+/// Two-phase sender and eager consumer for a Muller control pipeline:
+/// the request flips once the head stage has matched it, and the tail
+/// acknowledge copies the last stage.
+pub struct MicropipelineEnv {
+    /// The environment-driven request.
+    pub req: NetId,
+    /// The first C-element stage (sender-side acknowledge).
+    pub head: NetId,
+    /// The last C-element stage.
+    pub tail: NetId,
+    /// The environment-driven tail acknowledge.
+    pub tail_ack: NetId,
+}
+
+impl EnvModel for MicropipelineEnv {
+    fn step(&self, _state: u8, view: &dyn NetView) -> Vec<EnvAction> {
+        let mut acts = Vec::new();
+        if view.value(self.head) == view.value(self.req) {
+            acts.push(act(self.req, !view.value(self.req)));
+        }
+        if view.value(self.tail_ack) != view.value(self.tail) {
+            acts.push(act(self.tail_ack, view.value(self.tail)));
+        }
+        acts
+    }
+}
+
+/// The product of independent stateless environments (used by the
+/// pipelined-array family, where every row has its own sender and
+/// receiver): the enabled actions are the union of the parts'.
+pub struct ComposedEnv {
+    /// The component environments. Each must be stateless (control
+    /// state 0 throughout); the composition does not multiplex the
+    /// shared control byte.
+    pub parts: Vec<Arc<dyn EnvModel>>,
+}
+
+impl EnvModel for ComposedEnv {
+    fn step(&self, state: u8, view: &dyn NetView) -> Vec<EnvAction> {
+        self.parts
+            .iter()
+            .flat_map(|p| p.step(state, view))
+            .collect()
+    }
+}

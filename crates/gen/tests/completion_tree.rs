@@ -1,0 +1,98 @@
+//! Property test over every completion-detector width the dual-rail
+//! encoding supports (1..=64): the generated tree is well-formed, and
+//! its `done` output acknowledges **exactly** when all bits hold
+//! codewords — rising only once the last bit becomes valid, and
+//! falling only once the last bit has returned to spacer — regardless
+//! of the (seeded, random) arrival order and rail polarity per bit.
+
+use emc_device::DeviceModel;
+use emc_gen::completion_tree;
+use emc_netlist::NetId;
+use emc_prng::{Rng, StdRng};
+use emc_sim::{Simulator, SupplyKind};
+use emc_units::Waveform;
+
+fn shuffled(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order
+}
+
+#[test]
+fn ack_exactly_when_all_bits_valid_for_widths_1_to_64() {
+    for width in 1..=64usize {
+        let gc = completion_tree(width, "cd");
+        assert!(
+            gc.netlist.validate().is_empty(),
+            "width {width}: structural diagnostics"
+        );
+        assert!(gc.netlist.check().is_ok(), "width {width}: check failed");
+
+        let rails: Vec<(NetId, NetId)> = (0..width)
+            .map(|i| {
+                (
+                    gc.netlist.find_net(&format!("cd.w{i}.t")).expect("t rail"),
+                    gc.netlist.find_net(&format!("cd.w{i}.f")).expect("f rail"),
+                )
+            })
+            .collect();
+        let done = *gc.netlist.outputs().first().expect("done output");
+
+        let mut sim = Simulator::new(gc.netlist.clone(), DeviceModel::umc90());
+        let vdd = sim.add_domain("vdd", SupplyKind::ideal(Waveform::constant(1.0)));
+        sim.assign_all(vdd);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        assert!(!sim.value(done), "width {width}: done high at reset");
+
+        let mut rng = StdRng::seed_from_u64(width as u64);
+        // Fill in a random order with a random rail per bit: done must
+        // stay low until the very last bit becomes valid.
+        let chosen: Vec<NetId> = rails
+            .iter()
+            .map(|&(t, f)| if rng.gen_range(0u8..2) == 0 { t } else { f })
+            .collect();
+        let fill_order = shuffled(width, &mut rng);
+        for (k, &bit) in fill_order.iter().enumerate() {
+            sim.schedule_input(chosen[bit], sim.now(), true);
+            sim.run_to_quiescence(10_000);
+            assert_eq!(
+                sim.value(done),
+                k + 1 == width,
+                "width {width}: done wrong after {} of {width} bits valid",
+                k + 1
+            );
+        }
+        // Drain in another random order: done must stay high until the
+        // very last bit returns to spacer.
+        let drain_order = shuffled(width, &mut rng);
+        for (k, &bit) in drain_order.iter().enumerate() {
+            sim.schedule_input(chosen[bit], sim.now(), false);
+            sim.run_to_quiescence(10_000);
+            assert_eq!(
+                sim.value(done),
+                k + 1 != width,
+                "width {width}: done wrong after {} of {width} bits drained",
+                k + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_shape_matches_width() {
+    for width in 1..=64usize {
+        let gc = completion_tree(width, "cd");
+        let h = gc.netlist.kind_histogram();
+        // One validity OR per bit, and a C-element tree with exactly
+        // width-1 internal nodes over the OR leaves.
+        assert_eq!(h.get("OR"), Some(&width), "width {width}");
+        if width > 1 {
+            assert_eq!(h.get("C"), Some(&(width - 1)), "width {width}");
+        } else {
+            assert_eq!(h.get("C"), None);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Pinned corpus of generated netlists in the `emcnet` text format.
+//!
+//! Conventions (see DESIGN.md): every file under `tests/fixtures/` is
+//! the exact `emc_netlist::to_text` output of a named plan, with the
+//! seed embedded in the filename (`corpus_seed{seed:016x}.emcnet` for
+//! exemplars, `fuzz_seed{seed:016x}.emcnet` for shrunk reproducers the
+//! fuzzer writes on failure). This test pins all of them: each file
+//! must import cleanly, re-export to the identical bytes, and — being a
+//! closed generated circuit — still pass the full differential check
+//! when paired with its plan's environment.
+//!
+//! Regenerate after an intentional format change with
+//! `EMC_BLESS=1 cargo test -p emc-gen --test corpus`.
+
+use std::path::PathBuf;
+
+use emc_gen::{check_generated, CheckOptions, GenBounds, GeneratedCircuit, Plan};
+
+/// The exemplar corpus: one pinned seed per generator family of
+/// interest. Seeds were picked (from the smoke-bounds draw) so the six
+/// plans cover six distinct families.
+const CORPUS_SEEDS: [u64; 6] = [
+    0x057e_cade_6a7c_2132, // micropipeline
+    0xbe02_0c31_9a78_d0d8, // dims-adder
+    0x83ac_adce_c37d_6309, // block-graph
+    0x1042_c69e_32ed_66bb, // wchb-datapath
+    0x4206_68b9_c7e0_f0f1, // pipelined-array
+    0x29de_4a7b_b761_e8a6, // completion-tree
+];
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn corpus_circuit(seed: u64) -> GeneratedCircuit {
+    Plan::from_seed(seed, &GenBounds::smoke()).build()
+}
+
+#[test]
+fn corpus_files_are_pinned_and_round_trip() {
+    let dir = fixtures_dir();
+    let bless = std::env::var_os("EMC_BLESS").is_some();
+    for seed in CORPUS_SEEDS {
+        let gc = corpus_circuit(seed);
+        let text = emc_netlist::to_text(&gc.netlist);
+        let path = dir.join(format!("corpus_seed{seed:016x}.emcnet"));
+        if bless {
+            std::fs::create_dir_all(&dir).expect("create fixtures dir");
+            std::fs::write(&path, &text).expect("write fixture");
+            continue;
+        }
+        let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with EMC_BLESS=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            pinned,
+            text,
+            "seed {seed:016x}: generator output drifted from pinned fixture {}",
+            path.display()
+        );
+        // Import → export must reproduce the file bytes exactly.
+        let imported =
+            emc_netlist::from_text(&pinned).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            emc_netlist::to_text(&imported),
+            pinned,
+            "seed {seed:016x}: re-export not byte-stable"
+        );
+    }
+}
+
+#[test]
+fn every_fixture_on_disk_imports_and_reexports_byte_stably() {
+    // Covers fuzzer-written reproducers too, whatever their names:
+    // anything committed under tests/fixtures/ must stay loadable.
+    let dir = fixtures_dir();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "emcnet") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let imported =
+            emc_netlist::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Comment/blank lines are not preserved by export; strip them
+        // from the file before comparing.
+        let canonical: String = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            emc_netlist::to_text(&imported),
+            canonical,
+            "{}: re-export differs from canonicalised file",
+            path.display()
+        );
+    }
+    assert!(seen >= CORPUS_SEEDS.len(), "corpus fixtures missing");
+}
+
+#[test]
+fn corpus_circuits_still_pass_the_differential_check() {
+    let opts = CheckOptions {
+        state_cap: 60_000,
+        rounds: 4,
+    };
+    for seed in CORPUS_SEEDS {
+        let gc = corpus_circuit(seed);
+        let out = check_generated(&gc, seed, &opts);
+        assert!(out.is_ok(), "seed {seed:016x}: {:?}", out.failure);
+    }
+}

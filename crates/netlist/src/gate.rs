@@ -254,6 +254,47 @@ impl GateKind {
     }
 }
 
+/// Error returned when parsing an unknown gate-kind name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError(String);
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl core::str::FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    /// Parses the upper-case mnemonic produced by the [`fmt::Display`]
+    /// impl (`INPUT`, `C`, `MAJ3`, …) — the vocabulary of the `emcnet`
+    /// text format.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "INPUT" => GateKind::Input,
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            "BUF" => GateKind::Buf,
+            "INV" => GateKind::Inv,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "C" => GateKind::CElement,
+            "MAJ3" => GateKind::Majority3,
+            "SR" => GateKind::SrLatch,
+            "TGL" => GateKind::Toggle,
+            "DFF" => GateKind::Dff,
+            other => return Err(ParseGateKindError(other.to_owned())),
+        })
+    }
+}
+
 impl fmt::Display for GateKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -428,7 +469,11 @@ mod tests {
             assert!(!k.to_string().is_empty());
             assert!(k.delay_factor() >= 0.0);
             assert!(k.input_load_factor() >= 0.0);
+            // Display ↔ FromStr round-trips for the whole alphabet.
+            assert_eq!(k.to_string().parse::<GateKind>(), Ok(k));
         }
+        let err = "MYSTERY".parse::<GateKind>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown gate kind 'MYSTERY'");
     }
 
     /// The allocation-free `eval_map`/`eval_map_with_edge` forms must

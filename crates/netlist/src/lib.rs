@@ -39,9 +39,11 @@ pub mod dualrail;
 pub mod export;
 pub mod gate;
 pub mod graph;
+pub mod textio;
 
 pub use diag::{Diagnostic, Severity};
 pub use dualrail::{completion_detector, DualRail, DualRailValue};
 pub use export::{to_dot, to_verilog};
-pub use gate::GateKind;
+pub use gate::{GateKind, ParseGateKindError};
 pub use graph::{Gate, GateId, NetId, Netlist, NetlistError};
+pub use textio::{from_text, to_text, TextFormatError, TEXT_HEADER};

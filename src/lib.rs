@@ -25,6 +25,7 @@
 //! | [`core`] | `emc-core` | QoS curves, hybrid control, the holistic loop |
 //! | [`verify`] | `emc-verify` | speed-independence checker and netlist lint |
 //! | [`obs`] | `emc-obs` | deterministic metrics, spans, energy ledger |
+//! | [`gen`] | `emc-gen` | parameterized netlist generators, differential fuzzing |
 //!
 //! # Examples
 //!
@@ -43,6 +44,7 @@
 pub use emc_async as selftimed;
 pub use emc_core as core;
 pub use emc_device as device;
+pub use emc_gen as gen;
 pub use emc_netlist as netlist;
 pub use emc_obs as obs;
 pub use emc_petri as petri;
