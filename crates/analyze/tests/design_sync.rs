@@ -1,0 +1,58 @@
+//! DESIGN.md §5 "Static analysis" carries the normative `SA` rule
+//! table; this test keeps it set-equal with the code registry so the
+//! docs can never drift from what the engine emits.
+
+use emc_analyze::RULES;
+use emc_netlist::Severity;
+
+fn severity_word(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "info",
+    }
+}
+
+#[test]
+fn design_md_sa_table_matches_the_registry() {
+    let design = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"));
+    // Parse `| SAxxx | severity | summary |` rows anywhere in the file.
+    let mut documented: Vec<(String, String, String)> = Vec::new();
+    for line in design.lines() {
+        let line = line.trim();
+        if !line.starts_with("| SA") {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        assert_eq!(cells.len(), 3, "malformed SA table row: {line}");
+        documented.push((
+            cells[0].to_string(),
+            cells[1].to_string(),
+            cells[2].to_string(),
+        ));
+    }
+    assert_eq!(
+        documented.len(),
+        RULES.len(),
+        "DESIGN.md documents {} SA rules, the registry has {}",
+        documented.len(),
+        RULES.len()
+    );
+    for rule in RULES {
+        let row = documented
+            .iter()
+            .find(|(id, _, _)| id == rule.id)
+            .unwrap_or_else(|| panic!("rule {} missing from the DESIGN.md table", rule.id));
+        assert_eq!(
+            row.1,
+            severity_word(rule.severity),
+            "rule {}: DESIGN.md severity drifted",
+            rule.id
+        );
+        assert_eq!(
+            row.2, rule.summary,
+            "rule {}: DESIGN.md summary drifted from the registry",
+            rule.id
+        );
+    }
+}

@@ -102,6 +102,31 @@ fn main() {
     let worker = |_: &usize, ctx: &RunContext| -> RunReport {
         let plan = Plan::from_seed(ctx.seed, &bounds);
         let gc = plan.build();
+        // Zero-exploration pre-filter: a static error (rail short,
+        // malformed netlist) is a generator bug the expensive
+        // differential oracle need never see. Rejections are counted in
+        // the report (value index 7) and still fail the run.
+        let analysis = emc_analyze::analyze(&gc.netlist, &gc.initial);
+        if analysis.has_errors() {
+            let rules = analysis.distinct_rules();
+            failures
+                .lock()
+                .expect("failure list poisoned")
+                .push((ctx.seed, format!("static pre-filter rejected: {rules:?}")));
+            return RunReport::from_values(
+                ctx,
+                vec![
+                    gc.netlist.gate_count() as f64,
+                    gc.netlist.net_count() as f64,
+                    0.0,
+                    0.0,
+                    0.0,
+                    0.0,
+                    0.0,
+                    1.0, // static_rejected
+                ],
+            );
+        }
         let out = check_generated(&gc, ctx.seed, &opts);
         if let Some(f) = &out.failure {
             failures
@@ -119,6 +144,7 @@ fn main() {
                 f64::from_bits(out.digest),
                 out.fired_total as f64,
                 f64::from(u8::from(out.is_ok())),
+                0.0, // static_rejected
             ],
         )
     };
@@ -153,14 +179,17 @@ fn main() {
     let mut text = String::new();
     let mut ok_count = 0usize;
     let mut exhaustive_count = 0usize;
+    let mut static_rejected = 0usize;
     for run in &report.runs {
         let seed = SplitMix64::mix(args.seed, run.index as u64);
         debug_assert_eq!(seed, run.seed);
         let plan = Plan::from_seed(run.seed, &bounds);
         let v = &run.values;
+        let rejected = v[7] != 0.0;
         let ok = v[6] != 0.0;
         ok_count += usize::from(ok);
         exhaustive_count += usize::from(v[3] != 0.0);
+        static_rejected += usize::from(rejected);
         text.push_str(&format!(
             "seed {:016x} {:28} gates={:5} states={:6} digest={:016x} {}\n",
             run.seed,
@@ -168,15 +197,22 @@ fn main() {
             v[0] as u64,
             v[2] as u64,
             v[4].to_bits(),
-            if ok { "ok" } else { "FAIL" },
+            if rejected {
+                "STATIC-REJECT"
+            } else if ok {
+                "ok"
+            } else {
+                "FAIL"
+            },
         ));
     }
     print!("{text}");
     println!(
-        "  {}/{} seeds ok, {} exhaustively verified, campaign digest {:#018x}",
+        "  {}/{} seeds ok, {} exhaustively verified, {} statically rejected, campaign digest {:#018x}",
         ok_count,
         args.seeds,
         exhaustive_count,
+        static_rejected,
         reference.expect("reference digest set")
     );
 

@@ -45,6 +45,8 @@ struct Sizes {
     gen_stages: usize,
     gen_width: usize,
     gen_rounds: usize,
+    red_rows: usize,
+    red_cols: usize,
 }
 
 impl Sizes {
@@ -62,6 +64,8 @@ impl Sizes {
             gen_stages: 4000,
             gen_width: 64,
             gen_rounds: 192,
+            red_rows: 2,
+            red_cols: 2,
         }
     }
 
@@ -77,6 +81,8 @@ impl Sizes {
             gen_stages: 4,
             gen_width: 2,
             gen_rounds: 16,
+            red_rows: 2,
+            red_cols: 1,
         }
     }
 }
@@ -250,6 +256,63 @@ fn measure_generated(
     (gates, diff.fired, secs, diff.fired as f64 / secs)
 }
 
+/// One full-vs-reduced explorer comparison: `(name, full_states,
+/// full_secs, reduced_states, reduced_secs)`. Both passes must be
+/// exhaustive; the reduced pass uses the circuit's declared
+/// environment footprint for partial-order + symmetry reduction.
+fn measure_reduction_one(c: &Circuit<'_>, cap: usize) -> (String, usize, f64, usize, f64) {
+    let fp = c
+        .footprint
+        .as_ref()
+        .unwrap_or_else(|| panic!("{}: reduction workload lacks a footprint", c.name));
+    let t0 = Instant::now();
+    let full = Explorer::new(&c.netlist, &c.env, &c.initial, cap).explore();
+    let full_secs = t0.elapsed().as_secs_f64();
+    assert!(full.exhaustive, "{}: full exploration capped", c.name);
+    let t0 = Instant::now();
+    let red = Explorer::new(&c.netlist, &c.env, &c.initial, cap)
+        .with_reduction(fp)
+        .explore();
+    let red_secs = t0.elapsed().as_secs_f64();
+    assert!(red.exhaustive, "{}: reduced exploration capped", c.name);
+    assert!(
+        red.states <= full.states,
+        "{}: reduction grew the state count",
+        c.name
+    );
+    (c.name.clone(), full.states, full_secs, red.states, red_secs)
+}
+
+/// The POR/symmetry before-after measurement: the built-in SRAM
+/// control loop and an `emc-gen` pipelined array (independent rows —
+/// the workload where both reductions bite).
+fn measure_reduction(
+    smoke_suite: bool,
+    rows: usize,
+    cols: usize,
+) -> Vec<(String, usize, f64, usize, f64)> {
+    let mut out = Vec::new();
+    let sram = builtin_suite(smoke_suite)
+        .into_iter()
+        .find(|c| c.name == "sram")
+        .expect("builtin suite has the SRAM control circuit");
+    out.push(measure_reduction_one(&sram, 500_000));
+    let array = emc_gen::pipelined_array(rows, cols, "perf-array").verify_circuit();
+    out.push(measure_reduction_one(&array, 2_000_000));
+    out
+}
+
+/// Peak resident-set size of this process (`VmHWM`), in kilobytes.
+/// Linux-specific and monotonic over the process lifetime; recorded as
+/// an upper bound on the explorer's working set.
+fn peak_rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    text.lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
 /// Extracts `"key": <number>` from a flat JSON object this binary wrote.
 fn json_f64_field(text: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -336,6 +399,20 @@ fn main() {
         "  verify explorer  : {states} states in {verify_secs:.4} s  ({state_rate:.0} states/s)"
     );
 
+    let reduction = measure_reduction(sizes.verify_smoke_suite, sizes.red_rows, sizes.red_cols);
+    for (name, fs, fsec, rs, rsec) in &reduction {
+        println!(
+            "  verify reduce {name:<12}: full {fs} states in {fsec:.4} s ({:.0}/s) | reduced {rs} states in {rsec:.4} s ({:.0}/s) | {:.2}x fewer states",
+            *fs as f64 / fsec,
+            *rs as f64 / rsec,
+            *fs as f64 / (*rs).max(1) as f64,
+        );
+    }
+    let rss_kb = peak_rss_kb();
+    if let Some(kb) = rss_kb {
+        println!("  peak RSS         : {kb} kB (VmHWM after reduction passes)");
+    }
+
     let (gen_gates, gen_events, gen_secs, gen_rate) = measure_generated(
         sizes.gen_stages,
         sizes.gen_width,
@@ -396,6 +473,46 @@ fn main() {
         "  \"states_per_sec\": {},\n",
         json_number(state_rate)
     ));
+    json.push_str(&format!(
+        "  \"reduction_workload\": {},\n",
+        json_string(
+            "full vs POR+symmetry-reduced exploration (sram builtin, emc-gen pipelined array)"
+        )
+    ));
+    for (name, fs, fsec, rs, rsec) in &reduction {
+        let tag = name.replace('-', "_");
+        json.push_str(&format!(
+            "  \"red_{tag}_full_states\": {},\n",
+            json_number(*fs as f64)
+        ));
+        json.push_str(&format!(
+            "  \"red_{tag}_full_secs\": {},\n",
+            json_number(*fsec)
+        ));
+        json.push_str(&format!(
+            "  \"red_{tag}_full_states_per_sec\": {},\n",
+            json_number(*fs as f64 / fsec)
+        ));
+        json.push_str(&format!(
+            "  \"red_{tag}_reduced_states\": {},\n",
+            json_number(*rs as f64)
+        ));
+        json.push_str(&format!(
+            "  \"red_{tag}_reduced_secs\": {},\n",
+            json_number(*rsec)
+        ));
+        json.push_str(&format!(
+            "  \"red_{tag}_reduced_states_per_sec\": {},\n",
+            json_number(*rs as f64 / rsec)
+        ));
+        json.push_str(&format!(
+            "  \"red_{tag}_state_reduction_factor\": {},\n",
+            json_number(*fs as f64 / (*rs).max(1) as f64)
+        ));
+    }
+    if let Some(kb) = rss_kb {
+        json.push_str(&format!("  \"peak_rss_kb\": {},\n", json_number(kb as f64)));
+    }
     json.push_str(&format!(
         "  \"gen_workload\": {},\n",
         json_string("emc-gen wchb_datapath, seeded environment replay")

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use emc_netlist::{DualRail, NetId};
 use emc_sim::Simulator;
-use emc_verify::{EnvAction, EnvView, Environment};
+use emc_verify::{EnvAction, EnvFootprint, EnvPart, EnvView, Environment};
 
 /// What an environment model may observe: current net values, plus the
 /// settledness flag fundamental-mode environments gate on.
@@ -65,6 +65,28 @@ pub trait EnvModel: Send + Sync {
     /// Enabled actions in control state `state` given the observed net
     /// values. Must be deterministic in its arguments.
     fn step(&self, state: u8, view: &dyn NetView) -> Vec<EnvAction>;
+
+    /// The model's declared dependency structure, enabling
+    /// partial-order/symmetry reduction in the verifier. `None` (the
+    /// default) keeps exploration fully unreduced; models returning
+    /// `Some` promise that every action [`EnvModel::step`] emits is
+    /// attributable to one declared part (see
+    /// [`emc_verify::EnvFootprint`]).
+    fn footprint(&self) -> Option<EnvFootprint> {
+        None
+    }
+}
+
+/// A stateless, quiescence-free environment part (every model in this
+/// module is fully reactive).
+fn part(tag: u64, reads: &[NetId], drives: &[NetId]) -> EnvPart {
+    EnvPart {
+        reads: reads.to_vec(),
+        drives: drives.to_vec(),
+        uses_quiescence: false,
+        stateful: false,
+        tag,
+    }
 }
 
 /// Adapts a shared [`EnvModel`] into the verifier's closure-based
@@ -120,6 +142,17 @@ impl EnvModel for FillDrainEnv {
         }
         acts
     }
+
+    fn footprint(&self) -> Option<EnvFootprint> {
+        // One part per pair: each action reads `done` plus its own
+        // pair's rails, so pairs fill/drain independently.
+        Some(EnvFootprint::new(
+            self.pairs
+                .iter()
+                .map(|p| part(1, &[self.done, p.t, p.f], &[p.t, p.f]))
+                .collect(),
+        ))
+    }
 }
 
 /// Four-phase sender and receiver around a W-bit WCHB pipeline: the
@@ -172,6 +205,21 @@ impl EnvModel for WchbEnv {
         }
         acts
     }
+
+    fn footprint(&self) -> Option<EnvFootprint> {
+        // One sender part per input pair (reads the shared acknowledge
+        // plus its own rails) and one receiver part over all output
+        // rails and the sink acknowledge.
+        let mut parts: Vec<EnvPart> = self
+            .inputs
+            .iter()
+            .map(|p| part(1, &[self.sender_ack, p.t, p.f], &[p.t, p.f]))
+            .collect();
+        let mut receiver_reads: Vec<NetId> = self.outputs.iter().flat_map(|p| [p.t, p.f]).collect();
+        receiver_reads.push(self.sink_ack);
+        parts.push(part(2, &receiver_reads, &[self.sink_ack]));
+        Some(EnvFootprint::new(parts))
+    }
 }
 
 /// Two-phase sender and eager consumer for a Muller control pipeline:
@@ -199,6 +247,13 @@ impl EnvModel for MicropipelineEnv {
         }
         acts
     }
+
+    fn footprint(&self) -> Option<EnvFootprint> {
+        Some(EnvFootprint::new(vec![
+            part(1, &[self.head, self.req], &[self.req]),
+            part(2, &[self.tail_ack, self.tail], &[self.tail_ack]),
+        ]))
+    }
 }
 
 /// The product of independent stateless environments (used by the
@@ -217,5 +272,15 @@ impl EnvModel for ComposedEnv {
             .iter()
             .flat_map(|p| p.step(state, view))
             .collect()
+    }
+
+    fn footprint(&self) -> Option<EnvFootprint> {
+        // The concatenation of the components' declarations — available
+        // only when every component declares one.
+        let mut fp = EnvFootprint::default();
+        for p in &self.parts {
+            fp.extend(p.footprint()?);
+        }
+        Some(fp)
     }
 }

@@ -80,6 +80,7 @@ impl GeneratedCircuit {
             initial: self.initial.clone(),
             env: to_environment(Arc::clone(&self.env)),
             stg: None,
+            footprint: self.env.footprint(),
         }
     }
 }

@@ -18,10 +18,23 @@ use emc_netlist::{DualRail, GateKind, NetId, Netlist};
 use emc_petri::Stg;
 
 use crate::explore::{EnvAction, EnvView, Environment};
+use crate::reduce::{EnvFootprint, EnvPart};
 use crate::Circuit;
 
 fn act(net: NetId, value: bool, next: u8) -> EnvAction {
     EnvAction { net, value, next }
+}
+
+/// A stateless, quiescence-free environment part (the common case for
+/// the speed-independent builtins).
+fn part(tag: u64, reads: &[NetId], drives: &[NetId]) -> EnvPart {
+    EnvPart {
+        reads: reads.to_vec(),
+        drives: drives.to_vec(),
+        uses_quiescence: false,
+        stateful: false,
+        tag,
+    }
 }
 
 /// Fig. 9/10 charge-to-digital core: a toggle ripple counter driven by a
@@ -58,7 +71,10 @@ fn counter(bits: usize) -> Circuit<'static> {
             .expect("counter carry net exists");
         circuit.initial.push((carry, true));
     }
-    circuit
+    circuit.with_footprint(EnvFootprint::new(vec![EnvPart {
+        uses_quiescence: true,
+        ..part(1, &[pulse], &[pulse])
+    }]))
 }
 
 /// Design 1: the WCHB dual-rail pipeline with a fully reactive 4-phase
@@ -103,6 +119,10 @@ fn wchb(stages: usize) -> Circuit<'static> {
             }),
         },
     )
+    .with_footprint(EnvFootprint::new(vec![
+        part(1, &[input.t, input.f, sender_ack], &[input.t, input.f]),
+        part(2, &[output.t, output.f, sink_ack], &[sink_ack]),
+    ]))
 }
 
 /// The Muller-pipeline control chain with a 4-phase sender at the head
@@ -136,6 +156,10 @@ fn micropipeline(stages: usize) -> Circuit<'static> {
         },
     )
     .with_stg(stg, vec![(sreq, req), (sack, c0)])
+    .with_footprint(EnvFootprint::new(vec![
+        part(1, &[c0, req], &[req]),
+        part(2, &[tail_ack, c_last], &[tail_ack]),
+    ]))
 }
 
 /// Design 2: the bundled-data pipeline under a bundling-disciplined
@@ -186,7 +210,11 @@ fn bundled(stages: usize) -> Circuit<'static> {
             .expect("bundled logic net exists");
         circuit.initial.push((l0, true));
     }
-    circuit
+    circuit.with_footprint(EnvFootprint::new(vec![EnvPart {
+        uses_quiescence: true,
+        stateful: true,
+        ..part(1, &[data, req, ack], &[data, req])
+    }]))
 }
 
 /// Fig. 5: SRAM read-completion control. The word line is gated by a
@@ -227,6 +255,7 @@ fn sram_control() -> Circuit<'static> {
     )
     .with_initial(cell, true)
     .with_stg(stg, vec![(sreq, req), (sack, done)])
+    .with_footprint(EnvFootprint::new(vec![part(1, &[req, done], &[req])]))
 }
 
 /// The DIMS dual-rail ripple-carry adder under a 4-phase dual-rail
@@ -274,6 +303,12 @@ fn adder() -> Circuit<'static> {
             }),
         },
     )
+    // One part per operand: each action reads only `done` plus its own
+    // operand's rails, so the two operands fill/drain independently.
+    .with_footprint(EnvFootprint::new(vec![
+        part(1, &[done, a.t, a.f], &[a.t, a.f]),
+        part(1, &[done, b.t, b.f], &[b.t, b.f]),
+    ]))
 }
 
 /// The full built-in suite, in a fixed order. `smoke` shrinks the
@@ -456,6 +491,56 @@ mod tests {
                 report.circuit,
                 report.diagnostics
             );
+        }
+    }
+
+    /// The golden equivalence gate for reduction: on every builtin (and
+    /// every broken fixture) the reduced explorer must agree with the
+    /// full one on rules, cleanliness, and exhaustiveness, and never
+    /// visit more states.
+    #[test]
+    fn reduction_preserves_builtin_verdicts() {
+        for smoke in [true, false] {
+            let full: Vec<_> = builtin_suite(smoke)
+                .iter()
+                .map(|c| Verifier::new().verify(c))
+                .collect();
+            let reduced: Vec<_> = builtin_suite(smoke)
+                .iter()
+                .map(|c| Verifier::new().with_reduction(true).verify(c))
+                .collect();
+            // The builtins are deliberately tight handshakes — almost
+            // everything interferes, so little or nothing shrinks here
+            // (the generated disjoint-row families are where reduction
+            // bites; see `tests/static_analysis.rs` at the workspace
+            // root). What this gate pins is *equivalence*.
+            for (f, r) in full.iter().zip(&reduced) {
+                assert_eq!(f.distinct_rules(), r.distinct_rules(), "{}", f.circuit);
+                assert_eq!(f.is_clean(), r.is_clean(), "{}", f.circuit);
+                assert_eq!(f.exhaustive, r.exhaustive, "{}", f.circuit);
+                assert!(
+                    r.states <= f.states,
+                    "{}: reduced {} > full {}",
+                    f.circuit,
+                    r.states,
+                    f.states
+                );
+            }
+        }
+        for (circuit, expected) in broken_suite() {
+            let report = Verifier::new().with_reduction(true).verify(&circuit);
+            assert_eq!(report.distinct_rules(), *expected, "{}", report.circuit);
+        }
+    }
+
+    /// Every builtin's validated symmetry (if any) must commute with
+    /// the transition relation on the unreduced graph.
+    #[test]
+    fn builtin_orbits_commute() {
+        for circuit in builtin_suite(true) {
+            let checked = crate::reduce::orbit_commutation_check(&circuit, 20_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", circuit.name));
+            let _ = checked;
         }
     }
 }

@@ -38,6 +38,7 @@ use emc_obs::metrics::pow2_bounds;
 use emc_obs::{CounterId, GaugeId, HistogramId, Telemetry};
 
 use crate::rails::{discover_rail_pairs, RailPair};
+use crate::reduce::{EnvFootprint, ReduceScratch, ReductionEngine};
 
 /// One global state of the closed circuit–environment system,
 /// bit-packed: `words` holds the net values (one bit per net), then a
@@ -73,7 +74,7 @@ impl State {
     }
 
     #[inline]
-    fn set_value(&mut self, net: NetId, v: bool) {
+    pub(crate) fn set_value(&mut self, net: NetId, v: bool) {
         let i = net.index();
         let mask = 1u64 << (i % 64);
         if v {
@@ -98,7 +99,7 @@ impl State {
     }
 
     #[inline]
-    fn set_pending(&mut self, gate: GateId, p: Option<bool>) {
+    pub(crate) fn set_pending(&mut self, gate: GateId, p: Option<bool>) {
         let i = gate.index();
         let present = self.value_words as usize + i / 64;
         let target = present + self.pending_words as usize;
@@ -123,7 +124,7 @@ impl State {
 
     /// Overwrites `self` with `other` without reallocating (the layouts
     /// must match — both came from the same explorer).
-    fn copy_from(&mut self, other: &State) {
+    pub(crate) fn copy_from(&mut self, other: &State) {
         self.words.copy_from_slice(&other.words);
         self.env = other.env;
     }
@@ -295,6 +296,8 @@ pub struct Explorer<'a> {
     pairs: Vec<RailPair>,
     /// Net index → index into `pairs`, for O(1) protocol checks.
     pair_of_net: Vec<Option<usize>>,
+    /// Partial-order/symmetry reduction, when enabled and available.
+    reduction: Option<ReductionEngine>,
 }
 
 impl<'a> Explorer<'a> {
@@ -327,7 +330,20 @@ impl<'a> Explorer<'a> {
             state_cap,
             pairs,
             pair_of_net,
+            reduction: None,
         }
+    }
+
+    /// Enables partial-order and symmetry reduction, justified by the
+    /// declared environment `footprint`. A no-op when the engine
+    /// declines the circuit (see [`crate::reduce`]); exploration then
+    /// proceeds unreduced. The reduced search visits a subset of the
+    /// full state graph that preserves every `SI001`/`DR00x`/overrun
+    /// verdict, so reports agree with the unreduced explorer on rules,
+    /// cleanliness, and exhaustiveness — only the state count shrinks.
+    pub fn with_reduction(mut self, footprint: &EnvFootprint) -> Self {
+        self.reduction = ReductionEngine::build(&self.netlist, self.initial, footprint);
+        self
     }
 
     /// The netlist under analysis.
@@ -528,11 +544,24 @@ impl<'a> Explorer<'a> {
         });
 
         let mut sink = Sink::new();
-        let initial = self.initial_state();
+        let mut initial = self.initial_state();
         let mut interner = Interner::new();
         let mut queue: VecDeque<u32> = VecDeque::new();
         let mut capped = self.state_cap == 0;
+
+        // Reduction machinery: the engine (if enabled and accepted),
+        // its scratch, a second successor buffer holding the canonical
+        // representative, and local counters flushed to telemetry once.
+        let engine = self.reduction.as_ref();
+        let mut rsc: Option<ReduceScratch> = engine.map(|e| e.scratch());
+        let mut reduced_states = 0u64;
+        let mut proviso_expansions = 0u64;
+        let mut skipped_transitions = 0u64;
+
         if !capped {
+            if let (Some(e), Some(sc)) = (engine, rsc.as_mut()) {
+                e.canonicalize(sc, &mut initial);
+            }
             self.check_pair_invariants(None, &initial, &mut sink);
             queue.push_back(interner.insert(&initial));
         }
@@ -542,6 +571,7 @@ impl<'a> Explorer<'a> {
         // while it is read), the successor, and the transition lists.
         let mut current = initial.clone();
         let mut next = initial.clone();
+        let mut canon = initial.clone();
         let mut internal: Vec<Transition> = Vec::new();
         let mut env: Vec<Transition> = Vec::new();
         let mut overruns: Vec<GateId> = Vec::new();
@@ -569,64 +599,108 @@ impl<'a> Explorer<'a> {
                 )
             };
 
-            for t in internal.iter().chain(env.iter()) {
-                if let Some(o) = obs.as_mut() {
-                    o.t.metrics.inc(o.transitions, 1);
-                }
-                self.apply_into(s, t, &mut next, &mut overruns);
-                for &h in &overruns {
-                    let out = self.netlist.gate_ref(h).output();
-                    sink.push(
-                        h.index(),
-                        Diagnostic::new(
-                            "SI001",
-                            Severity::Error,
-                            format!(
-                                "edge-triggered gate {h} ('{}') received a second arming \
-                                 edge before firing — an event was lost",
-                                self.netlist.net_name(out)
-                            ),
-                        )
-                        .at_gate(h)
-                        .at_net(out),
-                    );
-                }
-                for p in internal.iter().filter(|t| is_level(t)) {
-                    let g = p.gate.expect("internal transitions carry a gate");
-                    if t.gate == Some(g) {
+            // Choose the transitions to fire: a stubborn subset when the
+            // engine finds one, everything otherwise.
+            let use_mask = match (engine, rsc.as_mut()) {
+                (Some(e), Some(sc)) => e.select(&self.netlist, sc, s, &internal, &env),
+                _ => false,
+            };
+            if use_mask {
+                reduced_states += 1;
+            }
+
+            // Pass 0 fires the chosen set; pass 1 (reduction only) fires
+            // the deferred remainder when no chosen transition reached a
+            // new state — the BFS ignoring-proviso, which guarantees no
+            // transition is postponed around a cycle forever.
+            let mut fresh = false;
+            let mut applied = 0u64;
+            for pass in 0..2u8 {
+                for (i, t) in internal.iter().chain(env.iter()).enumerate() {
+                    let chosen = !use_mask || rsc.as_ref().expect("mask set").mask[i];
+                    if chosen != (pass == 0) {
                         continue;
                     }
-                    if self.eval_gate(g, &next) != p.value {
+                    applied += 1;
+                    if let Some(o) = obs.as_mut() {
+                        o.t.metrics.inc(o.transitions, 1);
+                    }
+                    self.apply_into(s, t, &mut next, &mut overruns);
+                    for &h in &overruns {
+                        let out = self.netlist.gate_ref(h).output();
                         sink.push(
-                            g.index(),
+                            h.index(),
                             Diagnostic::new(
                                 "SI001",
                                 Severity::Error,
                                 format!(
-                                    "gate {g} ('{}') excited to {} was disabled by {} \
-                                     ('{}') firing — output persistence violated (hazard)",
-                                    self.netlist.net_name(p.net),
-                                    u8::from(p.value),
-                                    t.gate
-                                        .map(|x| x.to_string())
-                                        .unwrap_or_else(|| "the environment".to_owned()),
-                                    self.netlist.net_name(t.net),
+                                    "edge-triggered gate {h} ('{}') received a second arming \
+                                     edge before firing — an event was lost",
+                                    self.netlist.net_name(out)
                                 ),
                             )
-                            .at_gate(g)
-                            .at_net(p.net),
+                            .at_gate(h)
+                            .at_net(out),
                         );
                     }
-                }
-                self.check_pair_invariants(Some((s, t.net)), &next, &mut sink);
-                if !interner.contains(&next) {
-                    if interner.len() >= self.state_cap {
-                        capped = true;
-                        break 'bfs;
+                    // Checked against *all* enabled gates — also the
+                    // deferred ones, so a reduced run still sees every
+                    // disabling the chosen transitions can cause.
+                    for p in internal.iter().filter(|t| is_level(t)) {
+                        let g = p.gate.expect("internal transitions carry a gate");
+                        if t.gate == Some(g) {
+                            continue;
+                        }
+                        if self.eval_gate(g, &next) != p.value {
+                            sink.push(
+                                g.index(),
+                                Diagnostic::new(
+                                    "SI001",
+                                    Severity::Error,
+                                    format!(
+                                        "gate {g} ('{}') excited to {} was disabled by {} \
+                                         ('{}') firing — output persistence violated (hazard)",
+                                        self.netlist.net_name(p.net),
+                                        u8::from(p.value),
+                                        t.gate
+                                            .map(|x| x.to_string())
+                                            .unwrap_or_else(|| "the environment".to_owned()),
+                                        self.netlist.net_name(t.net),
+                                    ),
+                                )
+                                .at_gate(g)
+                                .at_net(p.net),
+                            );
+                        }
                     }
-                    queue.push_back(interner.insert(&next));
+                    self.check_pair_invariants(Some((s, t.net)), &next, &mut sink);
+                    // All checks ran on the raw successor; intern its
+                    // canonical representative.
+                    let cand: &State = match (engine, rsc.as_mut()) {
+                        (Some(e), Some(sc)) if e.has_symmetry() => {
+                            canon.copy_from(&next);
+                            e.canonicalize(sc, &mut canon);
+                            &canon
+                        }
+                        _ => &next,
+                    };
+                    if !interner.contains(cand) {
+                        if interner.len() >= self.state_cap {
+                            capped = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(interner.insert(cand));
+                        fresh = true;
+                    }
+                }
+                if pass == 0 {
+                    if !use_mask || fresh {
+                        break;
+                    }
+                    proviso_expansions += 1;
                 }
             }
+            skipped_transitions += (internal.len() + env.len()) as u64 - applied;
         }
 
         if capped {
@@ -647,6 +721,14 @@ impl<'a> Explorer<'a> {
             o.t.metrics.set_gauge(arena, interner.len() as f64);
             let diags = o.t.metrics.counter("verify.diagnostics");
             o.t.metrics.inc(diags, sink.diags.len() as u64);
+            if engine.is_some() {
+                let c = o.t.metrics.counter("verify.reduce.reduced_states");
+                o.t.metrics.inc(c, reduced_states);
+                let c = o.t.metrics.counter("verify.reduce.proviso_expansions");
+                o.t.metrics.inc(c, proviso_expansions);
+                let c = o.t.metrics.counter("verify.reduce.skipped_transitions");
+                o.t.metrics.inc(c, skipped_transitions);
+            }
         }
         ExploreOutcome {
             diagnostics: sink.diags,

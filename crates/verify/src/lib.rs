@@ -62,6 +62,7 @@ pub mod builtin;
 pub mod conformance;
 pub mod explore;
 pub mod rails;
+pub mod reduce;
 
 use std::sync::Mutex;
 
@@ -74,6 +75,7 @@ pub use explore::{EnvAction, EnvView, Environment, ExploreOutcome, Explorer, Sta
 pub use rails::{
     check_completion_coverage, check_timing_assumptions, discover_rail_pairs, RailPair,
 };
+pub use reduce::{orbit_commutation_check, EnvFootprint, EnvPart};
 
 /// A circuit closed by its environment, ready for verification.
 pub struct Circuit<'a> {
@@ -88,6 +90,10 @@ pub struct Circuit<'a> {
     /// Optional STG specification with a signal→net mapping for
     /// conformance checking.
     pub stg: Option<(Stg, Vec<(SignalId, NetId)>)>,
+    /// Optional declared environment dependency structure, enabling
+    /// partial-order/symmetry reduction (see [`reduce`]). `None` keeps
+    /// exploration fully unreduced.
+    pub footprint: Option<EnvFootprint>,
 }
 
 impl<'a> Circuit<'a> {
@@ -99,6 +105,7 @@ impl<'a> Circuit<'a> {
             initial: Vec::new(),
             env,
             stg: None,
+            footprint: None,
         }
     }
 
@@ -111,6 +118,14 @@ impl<'a> Circuit<'a> {
     /// Adds an initial net-value override.
     pub fn with_initial(mut self, net: NetId, value: bool) -> Self {
         self.initial.push((net, value));
+        self
+    }
+
+    /// Declares the environment's dependency structure, making the
+    /// circuit eligible for reduced exploration (opt-in via
+    /// [`Verifier::with_reduction`]).
+    pub fn with_footprint(mut self, footprint: EnvFootprint) -> Self {
+        self.footprint = Some(footprint);
         self
     }
 }
@@ -231,6 +246,11 @@ pub struct Verifier {
     pub state_cap: usize,
     /// Exact cap on combined states during STG conformance checking.
     pub stg_cap: usize,
+    /// When `true`, circuits carrying an [`EnvFootprint`] are explored
+    /// with partial-order/symmetry reduction. Default `false`, so all
+    /// existing reports and digests are unchanged unless a caller opts
+    /// in.
+    pub reduce: bool,
 }
 
 impl Default for Verifier {
@@ -245,12 +265,20 @@ impl Verifier {
         Self {
             state_cap: 50_000,
             stg_cap: 50_000,
+            reduce: false,
         }
     }
 
     /// Overrides the state cap (for smoke runs).
     pub fn with_state_cap(mut self, cap: usize) -> Self {
         self.state_cap = cap;
+        self
+    }
+
+    /// Enables (or disables) reduced exploration for circuits that
+    /// declare an environment footprint.
+    pub fn with_reduction(mut self, reduce: bool) -> Self {
+        self.reduce = reduce;
         self
     }
 
@@ -269,7 +297,12 @@ impl Verifier {
         // Dynamic rules only make sense on a structurally sound netlist
         // (a multiply-driven or floating net has no defined semantics).
         if structurally_sound {
-            let ex = Explorer::new(nl, &circuit.env, &circuit.initial, self.state_cap);
+            let mut ex = Explorer::new(nl, &circuit.env, &circuit.initial, self.state_cap);
+            if self.reduce {
+                if let Some(fp) = &circuit.footprint {
+                    ex = ex.with_reduction(fp);
+                }
+            }
             let outcome = ex.explore();
             states = outcome.states;
             exhaustive = outcome.exhaustive;

@@ -1,0 +1,77 @@
+//! Static-tier coverage of the golden known-bad fixtures.
+//!
+//! Each broken fixture in [`emc_verify::builtin::broken_suite`] must
+//! trip at least one zero-exploration diagnostic wherever its defect is
+//! structurally detectable, and the exact static rule set is pinned so
+//! the `emc-lint --static` tier and this test cannot drift apart.
+
+use emc_analyze::{analyze, RULES};
+use emc_verify::builtin::broken_suite;
+
+/// Pinned static rule sets per fixture. `hazard_glitch`'s overrun is a
+/// dynamic property, but its unacknowledged fork is visible statically
+/// (SA004); the rail short and the missing bundling constraint are
+/// fully static findings.
+const STATIC_EXPECT: &[(&str, &[&str])] = &[
+    ("hazard_glitch", &["SA004"]),
+    ("dual_rail_short", &["CD001", "SA006"]),
+    ("unbundled_sram", &["SA004", "TA001"]),
+    (
+        "structural_mess",
+        &["NET001", "NET002", "NET003", "SA004", "SA005"],
+    ),
+];
+
+#[test]
+fn every_known_bad_fixture_trips_a_static_rule() {
+    let suite = broken_suite();
+    assert_eq!(suite.len(), STATIC_EXPECT.len(), "fixture census drifted");
+    for (circuit, _dynamic_rules) in &suite {
+        let (_, expected) = STATIC_EXPECT
+            .iter()
+            .find(|(name, _)| *name == circuit.name)
+            .unwrap_or_else(|| panic!("no static expectation for fixture {}", circuit.name));
+        let a = analyze(&circuit.netlist, &circuit.initial);
+        assert_eq!(
+            a.distinct_rules(),
+            *expected,
+            "{}: static rule set drifted",
+            circuit.name
+        );
+        assert!(
+            !a.diagnostics.is_empty(),
+            "{}: expected at least one static finding",
+            circuit.name
+        );
+    }
+}
+
+#[test]
+fn static_findings_carry_registered_severities() {
+    for (circuit, _) in &broken_suite() {
+        let a = analyze(&circuit.netlist, &circuit.initial);
+        for d in &a.diagnostics {
+            if let Some(info) = RULES.iter().find(|r| r.id == d.rule) {
+                assert_eq!(
+                    d.severity, info.severity,
+                    "{}: rule {} severity drifted from the registry",
+                    circuit.name, d.rule
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dual_rail_short_is_rejected_with_an_error_statically() {
+    // The rail short is the one defect the static tier must *reject*
+    // (error severity), since the fuzzer's pre-filter keys on it.
+    let suite = broken_suite();
+    let (circuit, _) = suite
+        .iter()
+        .find(|(c, _)| c.name == "dual_rail_short")
+        .expect("fixture present");
+    let a = analyze(&circuit.netlist, &circuit.initial);
+    assert!(a.has_errors(), "SA006 must be error severity");
+    assert!(a.distinct_rules().contains(&"SA006"));
+}

@@ -26,6 +26,7 @@
 //! | [`verify`] | `emc-verify` | speed-independence checker and netlist lint |
 //! | [`obs`] | `emc-obs` | deterministic metrics, spans, energy ledger |
 //! | [`gen`] | `emc-gen` | parameterized netlist generators, differential fuzzing |
+//! | [`analyze`] | `emc-analyze` | static independence/symmetry/lint analysis |
 //!
 //! # Examples
 //!
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use emc_analyze as analyze;
 pub use emc_async as selftimed;
 pub use emc_core as core;
 pub use emc_device as device;
