@@ -11,20 +11,25 @@
 //!   built-in verification suite;
 //! * **campaign wall-clock** — the deterministic fan-out engine at 1, 2
 //!   and 8 worker threads, with the byte-identical-report invariant
-//!   checked on every run.
+//!   checked on every run;
+//! * **fleet nodes/sec** — the `emc-fleet` sharded node simulation
+//!   (node-epochs/s and fleet events/s on a single worker).
 //!
 //! Flags: `--smoke` (tiny workloads, self-checking, for the tier-1
 //! gate), `--seed N`, `--out PATH` (also write the JSON to a file),
 //! `--baseline PATH` (read a previous run's JSON and record speedups),
-//! `--guard PCT` (with `--baseline`: fail unless events/s and states/s
-//! stay within PCT percent of the baseline — the regression gate).
-//! Flag errors are panics, like the other campaign binaries.
+//! `--guard PCT` (with `--baseline`: fail unless every guarded rate —
+//! events/s, states/s, and fleet events/s when the baseline records it
+//! — stays within PCT percent of the baseline; a breach names each
+//! regressed metric, its baseline and current values, and the baseline
+//! file). Flag errors are panics, like the other campaign binaries.
 
 use std::time::Instant;
 
 use emc_async::{MullerPipeline, SelfTimedOscillator, ToggleRippleCounter};
 use emc_bench::{json_number, json_string};
 use emc_device::DeviceModel;
+use emc_fleet::{CalibDepth, FleetConfig};
 use emc_netlist::{GateKind, Netlist};
 use emc_prng::{Rng, StdRng};
 use emc_sim::campaign::{run_campaign, CampaignConfig, RunContext, RunReport};
@@ -47,6 +52,8 @@ struct Sizes {
     gen_rounds: usize,
     red_rows: usize,
     red_cols: usize,
+    fleet_nodes: u32,
+    fleet_epochs: u64,
 }
 
 impl Sizes {
@@ -66,6 +73,8 @@ impl Sizes {
             gen_rounds: 192,
             red_rows: 2,
             red_cols: 2,
+            fleet_nodes: 20_000,
+            fleet_epochs: 25,
         }
     }
 
@@ -83,6 +92,8 @@ impl Sizes {
             gen_rounds: 16,
             red_rows: 2,
             red_cols: 1,
+            fleet_nodes: 500,
+            fleet_epochs: 4,
         }
     }
 }
@@ -302,6 +313,36 @@ fn measure_reduction(
     out
 }
 
+/// The fleet-scale workload: one pass of `emc-fleet` on a single
+/// worker thread. The measured wall is the whole run, calibration
+/// included, matching what the report itself records. Returns
+/// `(node_epochs, events, secs, node_epochs/s, events/s)`.
+fn measure_fleet(nodes: u32, epochs: u64, smoke: bool, seed: u64) -> (u64, u64, f64, f64, f64) {
+    let config = FleetConfig {
+        calib: if smoke {
+            CalibDepth::Smoke
+        } else {
+            CalibDepth::Full
+        },
+        ..FleetConfig::new(nodes, epochs, seed)
+    };
+    let report = emc_fleet::run_fleet(&config, 1);
+    assert!(
+        report.summary.completed > 0,
+        "fleet workload completed no tasks"
+    );
+    let secs = report.wall.as_secs_f64().max(1e-9);
+    let node_epochs = u64::from(nodes) * epochs;
+    let events = report.events();
+    (
+        node_epochs,
+        events,
+        secs,
+        node_epochs as f64 / secs,
+        events as f64 / secs,
+    )
+}
+
 /// Peak resident-set size of this process (`VmHWM`), in kilobytes.
 /// Linux-specific and monotonic over the process lifetime; recorded as
 /// an upper bound on the explorer's working set.
@@ -428,6 +469,13 @@ fn main() {
         println!("  campaign {threads}t      : {ms:.2} ms  (digest invariant held)");
     }
 
+    let (fleet_node_epochs, fleet_events, fleet_secs, fleet_ne_rate, fleet_ev_rate) =
+        measure_fleet(sizes.fleet_nodes, sizes.fleet_epochs, args.smoke, args.seed);
+    println!(
+        "  fleet {} nodes  : {fleet_node_epochs} node-epochs, {fleet_events} events in {fleet_secs:.4} s  ({fleet_ne_rate:.0} node-epochs/s, {fleet_ev_rate:.0} events/s)",
+        sizes.fleet_nodes
+    );
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"id\": {},\n", json_string("emc-perf")));
     json.push_str(&format!("  \"smoke\": {},\n", args.smoke));
@@ -531,6 +579,31 @@ fn main() {
         json_number(gen_rate)
     ));
     json.push_str(&format!(
+        "  \"fleet_workload\": {},\n",
+        json_string("emc-fleet sharded node simulation, 1 worker thread")
+    ));
+    json.push_str(&format!(
+        "  \"fleet_nodes\": {},\n",
+        json_number(f64::from(sizes.fleet_nodes))
+    ));
+    json.push_str(&format!(
+        "  \"fleet_epochs\": {},\n",
+        json_number(sizes.fleet_epochs as f64)
+    ));
+    json.push_str(&format!(
+        "  \"fleet_events\": {},\n",
+        json_number(fleet_events as f64)
+    ));
+    json.push_str(&format!("  \"fleet_secs\": {},\n", json_number(fleet_secs)));
+    json.push_str(&format!(
+        "  \"fleet_node_epochs_per_sec\": {},\n",
+        json_number(fleet_ne_rate)
+    ));
+    json.push_str(&format!(
+        "  \"fleet_events_per_sec\": {},\n",
+        json_number(fleet_ev_rate)
+    ));
+    json.push_str(&format!(
         "  \"campaign_runs\": {},\n",
         json_number(sizes.campaign_jobs as f64)
     ));
@@ -549,17 +622,48 @@ fn main() {
             json_f64_field(&text, "events_per_sec").expect("baseline JSON lacks events_per_sec");
         let base_states =
             json_f64_field(&text, "states_per_sec").expect("baseline JSON lacks states_per_sec");
+        // Older baselines predate the fleet workload; guard it only
+        // when the baseline actually records it.
+        let base_fleet = json_f64_field(&text, "fleet_events_per_sec");
+        let guarded: Vec<(&str, f64, f64)> = [
+            ("events_per_sec", base_events, const_rate),
+            ("states_per_sec", base_states, state_rate),
+        ]
+        .into_iter()
+        .chain(base_fleet.map(|b| ("fleet_events_per_sec", b, fleet_ev_rate)))
+        .collect();
         let sim_speedup = const_rate / base_events;
         let verify_speedup = state_rate / base_states;
-        println!("  vs baseline      : sim {sim_speedup:.2}x, verify {verify_speedup:.2}x");
+        let fleet_speedup = base_fleet.map(|b| fleet_ev_rate / b);
+        match fleet_speedup {
+            Some(f) => println!(
+                "  vs baseline      : sim {sim_speedup:.2}x, verify {verify_speedup:.2}x, fleet {f:.2}x"
+            ),
+            None => println!("  vs baseline      : sim {sim_speedup:.2}x, verify {verify_speedup:.2}x"),
+        }
         if let Some(pct) = args.guard {
             let floor = 1.0 - pct / 100.0;
+            let breaches: Vec<String> = guarded
+                .iter()
+                .filter(|(_, base, now)| now / base < floor)
+                .map(|(name, base, now)| {
+                    format!(
+                        "{name} regressed {:.1}%: baseline {base:.0}/s, now {now:.0}/s",
+                        (1.0 - now / base) * 100.0
+                    )
+                })
+                .collect();
             assert!(
-                sim_speedup >= floor && verify_speedup >= floor,
-                "perf guard: throughput regressed more than {pct}% vs baseline \
-                 (sim {sim_speedup:.3}x, verify {verify_speedup:.3}x)"
+                breaches.is_empty(),
+                "perf guard: {} of {} metrics breached the {pct}% floor vs {path}:\n  {}",
+                breaches.len(),
+                guarded.len(),
+                breaches.join("\n  ")
             );
-            println!("  perf guard       : within {pct}% of baseline");
+            println!(
+                "  perf guard       : {} metrics within {pct}% of {path}",
+                guarded.len()
+            );
         }
         json.push_str(",\n");
         json.push_str(&format!(
@@ -574,6 +678,13 @@ fn main() {
             "  \"sim_speedup\": {},\n",
             json_number(sim_speedup)
         ));
+        if let (Some(base), Some(speedup)) = (base_fleet, fleet_speedup) {
+            json.push_str(&format!(
+                "  \"baseline_fleet_events_per_sec\": {},\n",
+                json_number(base)
+            ));
+            json.push_str(&format!("  \"fleet_speedup\": {},\n", json_number(speedup)));
+        }
         json.push_str(&format!(
             "  \"verify_speedup\": {}",
             json_number(verify_speedup)

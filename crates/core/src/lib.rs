@@ -55,3 +55,9 @@ pub use proportionality::ActivityCurve;
 pub use qos::{measure_pipeline_qos, DesignStyle, QosPoint};
 pub use strategy::{StrategyReport, SupplyStrategy};
 pub use system::{PowerAdaptiveSystem, SystemReport, SystemTick};
+
+// The game-theoretic power manager lives in `emc-sched` (it is a
+// scheduling construct), but it is *this* crate's power-adaptive story
+// that consumers reach for first — re-exported so fleet-level arbiters
+// can `use emc_core::{PowerGame, TaskBid}` next to the holistic loop.
+pub use emc_sched::{PowerGame, TaskBid};

@@ -135,6 +135,43 @@ impl PowerChain {
         delivered
     }
 
+    /// Attempts an *all-or-nothing* energy-token withdrawal: the load
+    /// wants `demand` joules delivered at the regulated rail over an
+    /// activity window `dt`. The reservoir input energy (inefficiency
+    /// plus quiescent draw over `dt`) is computed first; the quantum is
+    /// granted only if the reservoir holds all of it. This is the
+    /// energy-token discipline of `emc-sched` pushed down into the
+    /// supply: a task either banks its whole quantum up front or does
+    /// not start at all (no half-finished work on a dying rail).
+    ///
+    /// Returns `true` and books delivered/conversion-loss energy when
+    /// granted; returns `false` and books the unmet `demand` as deficit
+    /// when refused. Chain time does not advance — harvesting happens in
+    /// [`PowerChain::tick`], which the caller is expected to drive
+    /// separately for each wall-clock slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or `dt` is not strictly positive.
+    pub fn draw_quantum(&mut self, demand: Joules, dt: Seconds) -> bool {
+        assert!(demand.0 >= 0.0, "negative quantum demand");
+        assert!(dt.0 > 0.0, "quantum window must be positive");
+        let v_in = self.storage.voltage();
+        let Some(required) = self.converter.input_energy_for(demand, v_in, dt) else {
+            self.report.deficit += demand;
+            return false;
+        };
+        if self.storage.stored_energy() < required {
+            self.report.deficit += demand;
+            return false;
+        }
+        let withdrawn = self.storage.withdraw(required);
+        let delivered = self.converter.output_energy_for(withdrawn, v_in, dt);
+        self.report.delivered += delivered;
+        self.report.conversion_loss += withdrawn - delivered;
+        true
+    }
+
     /// A telemetry snapshot of the chain so far: every stage of the
     /// cumulative [`ChainReport`] as a `chain/<stage>` ledger account,
     /// the reservoir's current stored energy, and efficiency / deficit /
@@ -270,6 +307,43 @@ mod tests {
             "harvested {} vs accounted {balance}",
             r.harvested
         );
+    }
+
+    #[test]
+    fn draw_quantum_is_all_or_nothing() {
+        let mut c = chain_100uw();
+        // Empty reservoir: every draw refused, demand booked as deficit.
+        assert!(!c.draw_quantum(Joules(1e-6), Seconds(1e-3)));
+        assert!((c.report().deficit.0 - 1e-6).abs() < 1e-18);
+        assert_eq!(c.report().delivered.0, 0.0);
+        // Charge up, then a small quantum must be granted in full.
+        for _ in 0..100 {
+            c.tick(Seconds(1e-3), Watts(0.0));
+        }
+        let stored_before = c.storage().stored_energy();
+        assert!(c.draw_quantum(Joules(1e-6), Seconds(1e-3)));
+        assert!(c.report().delivered.0 >= 1e-6 * 0.99);
+        // The withdrawal covers the delivery plus conversion loss.
+        let spent = stored_before.0 - c.storage().stored_energy().0;
+        assert!(spent > 1e-6, "withdrew {spent}");
+        // A quantum bigger than the whole reservoir is refused and the
+        // reservoir is left untouched (all-or-nothing).
+        let stored = c.storage().stored_energy();
+        let deficit_before = c.report().deficit;
+        assert!(!c.draw_quantum(Joules(1.0), Seconds(1e-3)));
+        assert_eq!(c.storage().stored_energy(), stored);
+        assert!((c.report().deficit.0 - deficit_before.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draw_quantum_books_conversion_loss() {
+        let mut c = chain_100uw();
+        for _ in 0..100 {
+            c.tick(Seconds(1e-3), Watts(0.0));
+        }
+        let loss_before = c.report().conversion_loss;
+        assert!(c.draw_quantum(Joules(2e-6), Seconds(1e-3)));
+        assert!(c.report().conversion_loss > loss_before);
     }
 
     #[test]

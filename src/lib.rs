@@ -27,6 +27,7 @@
 //! | [`obs`] | `emc-obs` | deterministic metrics, spans, energy ledger |
 //! | [`gen`] | `emc-gen` | parameterized netlist generators, differential fuzzing |
 //! | [`analyze`] | `emc-analyze` | static independence/symmetry/lint analysis |
+//! | [`fleet`] | `emc-fleet` | deterministic fleet-scale node simulation |
 //!
 //! # Examples
 //!
@@ -46,6 +47,7 @@ pub use emc_analyze as analyze;
 pub use emc_async as selftimed;
 pub use emc_core as core;
 pub use emc_device as device;
+pub use emc_fleet as fleet;
 pub use emc_gen as gen;
 pub use emc_netlist as netlist;
 pub use emc_obs as obs;
