@@ -13,21 +13,28 @@
 //!   and 8 worker threads, with the byte-identical-report invariant
 //!   checked on every run;
 //! * **fleet nodes/sec** — the `emc-fleet` sharded node simulation
-//!   (node-epochs/s and fleet events/s on a single worker).
+//!   (node-epochs/s and fleet events/s on a single worker);
+//! * **PDES events/sec** — the Vdd-domain-partitioned parallel
+//!   simulator on a million-gate pipeline array, sequentially and at
+//!   1/2/8 worker threads, with the canonical trace digest asserted
+//!   bit-identical across every run.
 //!
 //! Flags: `--smoke` (tiny workloads, self-checking, for the tier-1
 //! gate), `--seed N`, `--out PATH` (also write the JSON to a file),
 //! `--baseline PATH` (read a previous run's JSON and record speedups),
 //! `--guard PCT` (with `--baseline`: fail unless every guarded rate —
-//! events/s, states/s, and fleet events/s when the baseline records it
-//! — stays within PCT percent of the baseline; a breach names each
-//! regressed metric, its baseline and current values, and the baseline
-//! file). Flag errors are panics, like the other campaign binaries.
+//! events/s, states/s, and the fleet, generated-netlist and PDES rates
+//! when the baseline records them — stays within PCT percent of the
+//! baseline; a breach names each regressed metric, its baseline and
+//! current values, and the baseline file). Flag errors are panics,
+//! like the other campaign binaries.
 
 use std::time::Instant;
 
 use emc_async::{MullerPipeline, SelfTimedOscillator, ToggleRippleCounter};
-use emc_bench::{json_number, json_string};
+use emc_bench::{
+    drive_array, json_number, json_string, pdes_array, pdes_parallel, pdes_sequential,
+};
 use emc_device::DeviceModel;
 use emc_fleet::{CalibDepth, FleetConfig};
 use emc_netlist::{GateKind, Netlist};
@@ -54,6 +61,10 @@ struct Sizes {
     red_cols: usize,
     fleet_nodes: u32,
     fleet_epochs: u64,
+    pdes_rows: usize,
+    pdes_cols: usize,
+    pdes_parts: usize,
+    pdes_ticks: usize,
 }
 
 impl Sizes {
@@ -75,6 +86,12 @@ impl Sizes {
             red_cols: 2,
             fleet_nodes: 20_000,
             fleet_epochs: 25,
+            // 512 rows × 500 WCHB stages ≈ 1.02M gates across 8 Vdd
+            // domains — the parallel-simulation headline workload.
+            pdes_rows: 512,
+            pdes_cols: 500,
+            pdes_parts: 8,
+            pdes_ticks: 12,
         }
     }
 
@@ -94,6 +111,10 @@ impl Sizes {
             red_cols: 1,
             fleet_nodes: 500,
             fleet_epochs: 4,
+            pdes_rows: 8,
+            pdes_cols: 6,
+            pdes_parts: 2,
+            pdes_ticks: 7,
         }
     }
 }
@@ -343,6 +364,78 @@ fn measure_fleet(nodes: u32, epochs: u64, smoke: bool, seed: u64) -> (u64, u64, 
     )
 }
 
+/// One thread count's PDES measurement.
+struct PdesRun {
+    threads: usize,
+    secs: f64,
+    rate: f64,
+}
+
+/// The PDES measurement bundle: the same rig timed sequentially and at
+/// each worker thread count, digest-checked against the oracle.
+struct PdesMeasurement {
+    gates: usize,
+    parts: usize,
+    events: u64,
+    seq_secs: f64,
+    seq_rate: f64,
+    runs: Vec<PdesRun>,
+    sync_rounds: u64,
+    crossing_events: u64,
+}
+
+/// Times the Vdd-domain-partitioned simulator against its sequential
+/// oracle on the shared pipeline-array rig. Every run must fire the
+/// same event count and produce the same canonical trace digest — the
+/// determinism contract the tier-1 smoke gate pins at 2 threads.
+fn measure_pdes(rows: usize, cols: usize, parts: usize, ticks: usize) -> PdesMeasurement {
+    let rig = pdes_array(rows, cols, parts);
+    let gates = rig.netlist.gate_count();
+
+    let mut seq = pdes_sequential(&rig);
+    let t0 = Instant::now();
+    let events = drive_array(&mut seq, &rig, ticks);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let digest = seq.trace().canonical_digest();
+    drop(seq);
+
+    let mut runs = Vec::new();
+    let mut sync_rounds = 0;
+    let mut crossing_events = 0;
+    for threads in [1usize, 2, 8] {
+        let mut par = pdes_parallel(&rig, threads, false);
+        let t0 = Instant::now();
+        let fired = drive_array(&mut par, &rig, ticks);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            events, fired,
+            "PDES fired count diverged from sequential at {threads} threads"
+        );
+        assert_eq!(
+            digest,
+            par.trace().digest(),
+            "PDES trace digest diverged from sequential at {threads} threads"
+        );
+        sync_rounds = par.stats().sync_rounds;
+        crossing_events = par.stats().crossing_events;
+        runs.push(PdesRun {
+            threads,
+            secs,
+            rate: fired as f64 / secs,
+        });
+    }
+    PdesMeasurement {
+        gates,
+        parts: rig.parts,
+        events,
+        seq_secs,
+        seq_rate: events as f64 / seq_secs,
+        runs,
+        sync_rounds,
+        crossing_events,
+    }
+}
+
 /// Peak resident-set size of this process (`VmHWM`), in kilobytes.
 /// Linux-specific and monotonic over the process lifetime; recorded as
 /// an upper bound on the explorer's working set.
@@ -476,6 +569,26 @@ fn main() {
         sizes.fleet_nodes
     );
 
+    let pdes = measure_pdes(
+        sizes.pdes_rows,
+        sizes.pdes_cols,
+        sizes.pdes_parts,
+        sizes.pdes_ticks,
+    );
+    println!(
+        "  pdes sequential  : {} gates, {} events in {:.4} s  ({:.0} events/s)",
+        pdes.gates, pdes.events, pdes.seq_secs, pdes.seq_rate
+    );
+    for run in &pdes.runs {
+        println!(
+            "  pdes {}t          : {:.4} s  ({:.0} events/s, {:.2}x vs sequential, digest invariant held)",
+            run.threads,
+            run.secs,
+            run.rate,
+            run.rate / pdes.seq_rate
+        );
+    }
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"id\": {},\n", json_string("emc-perf")));
     json.push_str(&format!("  \"smoke\": {},\n", args.smoke));
@@ -604,6 +717,68 @@ fn main() {
         json_number(fleet_ev_rate)
     ));
     json.push_str(&format!(
+        "  \"pdes_workload\": {},\n",
+        json_string("Vdd-domain-partitioned WCHB pipeline array, reactive 4-phase driver")
+    ));
+    json.push_str(&format!(
+        "  \"pdes_gates\": {},\n",
+        json_number(pdes.gates as f64)
+    ));
+    json.push_str(&format!(
+        "  \"pdes_partitions\": {},\n",
+        json_number(pdes.parts as f64)
+    ));
+    json.push_str(&format!(
+        "  \"pdes_events\": {},\n",
+        json_number(pdes.events as f64)
+    ));
+    json.push_str(&format!(
+        "  \"pdes_sync_rounds\": {},\n",
+        json_number(pdes.sync_rounds as f64)
+    ));
+    json.push_str(&format!(
+        "  \"pdes_crossing_events\": {},\n",
+        json_number(pdes.crossing_events as f64)
+    ));
+    json.push_str(&format!(
+        "  \"pdes_seq_secs\": {},\n",
+        json_number(pdes.seq_secs)
+    ));
+    json.push_str(&format!(
+        "  \"pdes_seq_events_per_sec\": {},\n",
+        json_number(pdes.seq_rate)
+    ));
+    for run in &pdes.runs {
+        json.push_str(&format!(
+            "  \"pdes_secs_{}t\": {},\n",
+            run.threads,
+            json_number(run.secs)
+        ));
+        json.push_str(&format!(
+            "  \"pdes_events_per_sec_{}t\": {},\n",
+            run.threads,
+            json_number(run.rate)
+        ));
+    }
+    json.push_str(&format!(
+        "  \"pdes_threads_max\": {},\n",
+        json_number(pdes.runs.iter().map(|r| r.threads).max().unwrap_or(1) as f64)
+    ));
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        json_number(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1) as f64
+        )
+    ));
+    json.push_str("  \"pdes_digests_equal\": true,\n");
+    let pdes_8t = pdes.runs.last().map_or(0.0, |r| r.rate);
+    json.push_str(&format!(
+        "  \"pdes_speedup_vs_gen_8t\": {},\n",
+        json_number(pdes_8t / gen_rate)
+    ));
+    json.push_str(&format!(
         "  \"campaign_runs\": {},\n",
         json_number(sizes.campaign_jobs as f64)
     ));
@@ -622,15 +797,21 @@ fn main() {
             json_f64_field(&text, "events_per_sec").expect("baseline JSON lacks events_per_sec");
         let base_states =
             json_f64_field(&text, "states_per_sec").expect("baseline JSON lacks states_per_sec");
-        // Older baselines predate the fleet workload; guard it only
+        // Older baselines predate some workloads; guard each rate only
         // when the baseline actually records it.
         let base_fleet = json_f64_field(&text, "fleet_events_per_sec");
+        let base_gen = json_f64_field(&text, "gen_events_per_sec");
+        let base_pdes_seq = json_f64_field(&text, "pdes_seq_events_per_sec");
+        let base_pdes_8t = json_f64_field(&text, "pdes_events_per_sec_8t");
         let guarded: Vec<(&str, f64, f64)> = [
             ("events_per_sec", base_events, const_rate),
             ("states_per_sec", base_states, state_rate),
         ]
         .into_iter()
         .chain(base_fleet.map(|b| ("fleet_events_per_sec", b, fleet_ev_rate)))
+        .chain(base_gen.map(|b| ("gen_events_per_sec", b, gen_rate)))
+        .chain(base_pdes_seq.map(|b| ("pdes_seq_events_per_sec", b, pdes.seq_rate)))
+        .chain(base_pdes_8t.map(|b| ("pdes_events_per_sec_8t", b, pdes_8t)))
         .collect();
         let sim_speedup = const_rate / base_events;
         let verify_speedup = state_rate / base_states;

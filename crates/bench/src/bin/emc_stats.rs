@@ -18,6 +18,10 @@
 //! * `chain` — the harvester → reservoir → DC-DC chain snapshot;
 //! * `campaign` — a Vdd-sweep campaign with per-run bundles merged in
 //!   submission-index order;
+//! * `pdes` — the Vdd-domain-partitioned parallel simulator on the
+//!   shared pipeline-array rig, exporting the `sim.pdes.*` protocol
+//!   counters (partitions, crossing nets, sync rounds) merged with the
+//!   per-partition simulator bundles;
 //! * `all` — every scenario above, merged into one bundle.
 //!
 //! Output: a human summary by default, or exactly one of `--json`
@@ -27,6 +31,7 @@
 //! panic, like the other campaign binaries.
 
 use emc_async::{SelfTimedOscillator, ToggleRippleCounter};
+use emc_bench::{drive_array, pdes_array, pdes_parallel};
 use emc_device::DeviceModel;
 use emc_netlist::{GateKind, Netlist};
 use emc_obs::{to_chrome_trace, to_jsonl, to_prometheus, EnergyKind, Telemetry};
@@ -162,6 +167,21 @@ fn campaign_worker(vdd: &f64, ctx: &RunContext) -> RunReport {
     RunReport::from_sim(&sim, ctx, stats, vec![*vdd, stats.fired as f64])
 }
 
+/// The Vdd-domain-partitioned parallel simulator on the shared
+/// pipeline-array rig, with per-partition observability enabled. The
+/// exported bundle — per-partition simulator metrics plus the
+/// `sim.pdes.*` protocol counters — is a pure function of the workload,
+/// so it is byte-identical at any `--threads` count: the determinism
+/// demonstration in telemetry form.
+fn scenario_pdes(smoke: bool, threads: usize) -> Telemetry {
+    let (rows, cols, parts, ticks) = if smoke { (4, 3, 2, 7) } else { (8, 6, 3, 13) };
+    let rig = pdes_array(rows, cols, parts);
+    let mut sim = pdes_parallel(&rig, threads.max(1), true);
+    let fired = drive_array(&mut sim, &rig, ticks);
+    assert!(fired > 0, "pdes scenario fired no events");
+    sim.telemetry()
+}
+
 /// A Vdd-sweep campaign; per-run bundles merge in submission order, so
 /// the aggregate is byte-identical at any thread count.
 fn scenario_campaign(smoke: bool, threads: usize, seed: u64) -> Telemetry {
@@ -180,6 +200,7 @@ fn run_scenario(name: &str, smoke: bool, threads: usize, seed: u64) -> Telemetry
         "sensor" => scenario_sensor(smoke),
         "chain" => scenario_chain(smoke),
         "campaign" => scenario_campaign(smoke, threads, seed),
+        "pdes" => scenario_pdes(smoke, threads),
         "all" => {
             let mut t = scenario_sim(smoke);
             t.merge_from(&scenario_verify(smoke));
@@ -187,10 +208,13 @@ fn run_scenario(name: &str, smoke: bool, threads: usize, seed: u64) -> Telemetry
             t.merge_from(&scenario_sensor(smoke));
             t.merge_from(&scenario_chain(smoke));
             t.merge_from(&scenario_campaign(smoke, threads, seed));
+            t.merge_from(&scenario_pdes(smoke, threads));
             t
         }
         other => {
-            panic!("unknown scenario {other:?} (sim, verify, sram, sensor, chain, campaign, all)")
+            panic!(
+                "unknown scenario {other:?} (sim, verify, sram, sensor, chain, campaign, pdes, all)"
+            )
         }
     }
 }

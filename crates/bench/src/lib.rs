@@ -11,8 +11,13 @@
 
 pub mod campaign;
 pub mod harness;
+pub mod pdes_rig;
 
 pub use campaign::{campaign_series, print_campaign_summary, CampaignArgs};
+pub use pdes_rig::{
+    drive_array, pdes_array, pdes_parallel, pdes_sequential, pdes_specs, pdes_watched, DriveSim,
+    PdesArray, PDES_STEP, PDES_VOLTS,
+};
 
 use std::fs;
 use std::path::PathBuf;

@@ -5,14 +5,18 @@
 //! in time order, and executing an event yields successor events. Two
 //! departures keep the fleet bit-deterministic at any thread count:
 //!
-//! * the heap key is the full triple `(time, node, seq)` — never just
+//! * the queue key is the full triple `(time, node, seq)` — never just
 //!   the time — so same-instant events pop in one canonical order;
 //! * queues are *shard-local*. Cross-node messages never enter another
-//!   shard's heap directly; they go to an outbox and are routed by the
+//!   shard's queue directly; they go to an outbox and are routed by the
 //!   single-threaded epoch barrier (see [`crate::engine`]).
+//!
+//! Storage is the shared [`CalendarQueue`] from `emc-sim` (amortized
+//! O(1) hold operations on the heavily-recurring wake timers) rather
+//! than a binary heap; ordering is identical because the calendar
+//! always falls back to the event's full `Ord`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use emc_sim::{CalendarEntry, CalendarQueue};
 
 /// Fleet simulation time in integer nanoseconds. Integer time makes
 /// event ordering exact — no float-comparison ties to break.
@@ -72,10 +76,18 @@ fn order_rank(kind: &EventKind) -> u32 {
     }
 }
 
-/// A min-heap of [`FleetEvent`]s with deterministic pop order.
+impl CalendarEntry for FleetEvent {
+    fn sort_time(&self) -> f64 {
+        // u64 → f64 loses low bits past 2^53 but stays monotone, which
+        // is all bucketing needs — exact order still comes from `Ord`.
+        self.time as f64
+    }
+}
+
+/// A min-queue of [`FleetEvent`]s with deterministic pop order.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<FleetEvent>>,
+    queue: CalendarQueue<FleetEvent>,
     next_seq: u64,
 }
 
@@ -92,42 +104,42 @@ impl EventQueue {
     pub fn push(&mut self, time: Nanos, node: u32, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(FleetEvent {
+        self.queue.push(FleetEvent {
             time,
             node,
             seq,
             kind,
-        }));
+        });
     }
 
     /// Pops the next event strictly before `horizon`, or `None` when the
     /// earliest event (if any) is at or past it. Events at or beyond the
     /// horizon stay queued for a later epoch.
     pub fn pop_before(&mut self, horizon: Nanos) -> Option<FleetEvent> {
-        match self.heap.peek() {
-            Some(Reverse(ev)) if ev.time < horizon => Some(self.heap.pop().expect("peeked").0),
+        match self.queue.peek() {
+            Some(ev) if ev.time < horizon => self.queue.pop(),
             _ => None,
         }
     }
 
     /// Number of queued events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// Number of queued [`EventKind::Deliver`] events — messages routed
     /// to this queue but not yet delivered (message-conservation
     /// accounting at end of run).
     pub fn pending_deliveries(&self) -> u64 {
-        self.heap
+        self.queue
             .iter()
-            .filter(|Reverse(e)| matches!(e.kind, EventKind::Deliver { .. }))
+            .filter(|e| matches!(e.kind, EventKind::Deliver { .. }))
             .count() as u64
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.queue.is_empty()
     }
 }
 

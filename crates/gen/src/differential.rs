@@ -426,6 +426,7 @@ pub fn check_generated(
         netlist: imported,
         initial: gc.initial.clone(),
         env: Arc::clone(&gc.env),
+        domains: gc.domains.clone(),
     };
     let rediff = run_differential(
         &reimported,
@@ -553,6 +554,7 @@ mod tests {
             netlist: gc.netlist.clone(),
             initial: Vec::new(),
             env: Arc::new(ImpatientEnv { pairs }),
+            domains: Vec::new(),
         };
         let out = check_generated(&bad, 1, &CheckOptions::default());
         assert!(!out.is_ok(), "non-SI closure must fail");

@@ -72,6 +72,7 @@ pub fn completion_tree(width: usize, name: &str) -> GeneratedCircuit {
         netlist: nl,
         initial: Vec::new(),
         env: Arc::new(FillDrainEnv { pairs, done }),
+        domains: Vec::new(),
     }
 }
 
@@ -95,6 +96,7 @@ pub fn wchb_datapath(stages: usize, width: usize, name: &str) -> GeneratedCircui
         netlist: nl,
         initial: Vec::new(),
         env: Arc::new(env),
+        domains: Vec::new(),
     }
 }
 
@@ -126,6 +128,7 @@ pub fn dims_adder(width: usize, name: &str) -> GeneratedCircuit {
         netlist: nl,
         initial: Vec::new(),
         env: Arc::new(FillDrainEnv { pairs, done }),
+        domains: Vec::new(),
     }
 }
 
@@ -149,6 +152,7 @@ pub fn micropipeline(stages: usize, name: &str) -> GeneratedCircuit {
         netlist: nl,
         initial: Vec::new(),
         env: Arc::new(env),
+        domains: Vec::new(),
     }
 }
 
@@ -179,7 +183,87 @@ pub fn pipelined_array(rows: usize, cols: usize, name: &str) -> GeneratedCircuit
         netlist: nl,
         initial: Vec::new(),
         env: Arc::new(ComposedEnv { parts }),
+        domains: Vec::new(),
     }
+}
+
+/// [`pipelined_array`] with a suggested Vdd-domain decomposition: row
+/// `r` goes to domain `r % parts`. Rows are mutually independent, so
+/// the cut has **zero crossing nets** — the embarrassingly-parallel end
+/// of the PDES workload spectrum.
+///
+/// # Panics
+///
+/// Panics if `rows == 0`, `cols == 0`, or `parts == 0`.
+pub fn pipelined_array_domains(
+    rows: usize,
+    cols: usize,
+    parts: usize,
+    name: &str,
+) -> GeneratedCircuit {
+    assert!(rows >= 1, "array needs at least one row");
+    assert!(parts >= 1, "at least one domain");
+    let mut nl = Netlist::new();
+    let mut envs: Vec<Arc<dyn EnvModel>> = Vec::with_capacity(rows);
+    let n_domains = parts.min(rows);
+    let mut domains = vec![Vec::new(); n_domains];
+    for r in 0..rows {
+        let lo = nl.gate_count();
+        let p = DualRailPipeline::build(&mut nl, cols, &format!("{name}.r{r}"));
+        for i in lo..nl.gate_count() {
+            domains[r % n_domains].push(nl.gate_id(i));
+        }
+        envs.push(Arc::new(WchbEnv {
+            inputs: p.inputs().to_vec(),
+            sender_ack: p.sender_ack(),
+            outputs: p.outputs().to_vec(),
+            sink_ack: p.sink_ack(),
+        }));
+    }
+    GeneratedCircuit {
+        name: format!("{name}-array{rows}x{cols}d{}", domains.len()),
+        netlist: nl,
+        initial: Vec::new(),
+        env: Arc::new(ComposedEnv { parts: envs }),
+        domains,
+    }
+}
+
+/// [`block_graph`] with a suggested Vdd-domain decomposition: block `k`
+/// goes to domain `k % parts`, while the input sources and the closing
+/// completion detector stay in domain 0. Consecutive blocks feed each
+/// other, so the cut is **crossing-heavy** — the synchronization-bound
+/// end of the PDES workload spectrum.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `width > 64`, or `parts == 0`.
+pub fn block_graph_domains(
+    width: usize,
+    blocks: &[BlockSpec],
+    parts: usize,
+    name: &str,
+) -> GeneratedCircuit {
+    assert!(parts >= 1, "at least one domain");
+    let parts = parts.min(blocks.len().max(1));
+    let mut gc = block_graph(width, blocks, name);
+    let mut domains = vec![Vec::new(); parts];
+    // block_graph appends gates in construction order: the dual-rail
+    // input sources first, then each block's DIMS cluster, then the
+    // completion detector. Recover the block boundaries by name prefix.
+    for i in 0..gc.netlist.gate_count() {
+        let gid = gc.netlist.gate_id(i);
+        let gname = gc.netlist.net_name(gc.netlist.gate_ref(gid).output());
+        let domain = gname
+            .strip_prefix(&format!("{name}.g"))
+            .and_then(|rest| rest.split('_').next())
+            .and_then(|k| k.parse::<usize>().ok())
+            .map_or(0, |k| k % parts);
+        domains[domain].push(gid);
+    }
+    gc.name = format!("{name}-graph{width}b{}d{}", blocks.len(), parts);
+    gc.domains = domains;
+    gc
 }
 
 /// A random SI-composable block graph: `width` dual-rail inputs, one
@@ -236,6 +320,7 @@ pub fn block_graph(width: usize, blocks: &[BlockSpec], name: &str) -> GeneratedC
             pairs: inputs,
             done,
         }),
+        domains: Vec::new(),
     }
 }
 
@@ -326,6 +411,48 @@ mod tests {
         assert_clean(&block_graph(3, &blocks, "bg"));
         // Empty block list degenerates to a completion tree.
         assert_clean(&block_graph(2, &[], "bg"));
+    }
+
+    #[test]
+    fn domain_variants_cover_every_gate_and_verify_clean() {
+        let gc = pipelined_array_domains(2, 2, 2, "ar");
+        assert_eq!(gc.domains.len(), 2);
+        assert_eq!(
+            gc.domains.iter().map(Vec::len).sum::<usize>(),
+            gc.netlist.gate_count(),
+            "every gate gets a domain"
+        );
+        assert_eq!(gc.domain_assignment().len(), gc.netlist.gate_count());
+        assert_clean(&gc);
+
+        let blocks = [
+            BlockSpec {
+                func: 0,
+                lhs: 0,
+                rhs: 1,
+            },
+            BlockSpec {
+                func: 2,
+                lhs: 3,
+                rhs: 2,
+            },
+        ];
+        let gc = block_graph_domains(3, &blocks, 2, "bg");
+        assert_eq!(gc.domains.len(), 2);
+        assert_eq!(
+            gc.domains.iter().map(Vec::len).sum::<usize>(),
+            gc.netlist.gate_count()
+        );
+        // Block 1 lands in domain 1; the detector and sources in 0.
+        assert!(!gc.domains[1].is_empty(), "second block in second domain");
+        assert_clean(&gc);
+    }
+
+    #[test]
+    fn domain_variants_clamp_partition_count() {
+        // More requested domains than rows/blocks collapse to the max.
+        assert_eq!(pipelined_array_domains(2, 1, 8, "ar").domains.len(), 2);
+        assert_eq!(block_graph_domains(2, &[], 4, "bg").domain_count(), 1);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod plan;
 
 use std::sync::Arc;
 
-use emc_netlist::{NetId, Netlist};
+use emc_netlist::{GateId, NetId, Netlist};
 use emc_verify::Circuit;
 
 pub use differential::{
@@ -49,8 +49,8 @@ pub use differential::{
 };
 pub use env::{to_environment, EnvModel, NetView, SimView};
 pub use families::{
-    block_graph, completion_tree, dims_adder, micropipeline, pipelined_array, wchb_datapath,
-    BlockSpec, BLOCK_FUNCTIONS,
+    block_graph, block_graph_domains, completion_tree, dims_adder, micropipeline, pipelined_array,
+    pipelined_array_domains, wchb_datapath, BlockSpec, BLOCK_FUNCTIONS,
 };
 pub use plan::{shrink, FamilyPlan, GenBounds, Plan};
 
@@ -69,9 +69,34 @@ pub struct GeneratedCircuit {
     pub initial: Vec<(NetId, bool)>,
     /// The environment protocol machine closing the circuit.
     pub env: Arc<dyn EnvModel>,
+    /// Suggested Vdd-domain decomposition: `domains[d]` lists the gates
+    /// of domain `d`. Empty for single-domain families; the `_domains`
+    /// family variants fill it, and [`GeneratedCircuit::domain_assignment`]
+    /// turns it into the per-gate table `emc_sim::PdesSimulator` takes.
+    pub domains: Vec<Vec<GateId>>,
 }
 
 impl GeneratedCircuit {
+    /// Per-gate partition assignment derived from
+    /// [`GeneratedCircuit::domains`] (gates not listed — sources,
+    /// mostly — land in partition 0, where the PDES builder ignores
+    /// source entries anyway). Returns a single-partition table when no
+    /// decomposition was generated.
+    pub fn domain_assignment(&self) -> Vec<u32> {
+        let mut table = vec![0u32; self.netlist.gate_count()];
+        for (d, gates) in self.domains.iter().enumerate() {
+            for g in gates {
+                table[g.index()] = d as u32;
+            }
+        }
+        table
+    }
+
+    /// Number of suggested Vdd domains (at least 1).
+    pub fn domain_count(&self) -> usize {
+        self.domains.len().max(1)
+    }
+
     /// Packages this circuit for [`emc_verify::Verifier::verify`].
     pub fn verify_circuit(&self) -> Circuit<'static> {
         Circuit {

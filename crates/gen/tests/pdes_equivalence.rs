@@ -1,0 +1,268 @@
+//! PDES-vs-sequential equivalence over every generator family.
+//!
+//! Each circuit is split into 2–3 ideal-constant Vdd domains (different
+//! voltages, so cross-domain delays genuinely differ), driven by a
+//! seeded single-action environment at a fixed cadence, and simulated
+//! three ways: sequentially on one `Simulator`, and in parallel on a
+//! `PdesSimulator` at 1, 2 and 8 threads. The canonical `(time, net,
+//! value)`-sorted trace digests must agree across all four runs, fired
+//! counts and per-domain switching energy must match exactly, and
+//! total energy must match to rounding (leakage integration
+//! breakpoints differ between the two engines).
+//!
+//! Domain assignment is deliberately varied: the `_domains` family
+//! variants use their structural decomposition (row-parallel /
+//! block-chained), everything else gets a round-robin gate scatter —
+//! the worst possible cut, where nearly every net crosses a partition
+//! boundary.
+
+use emc_device::DeviceModel;
+use emc_gen::{
+    block_graph_domains, completion_tree, dims_adder, micropipeline, pipelined_array_domains,
+    wchb_datapath, BlockSpec, GeneratedCircuit, SimView,
+};
+use emc_netlist::{GateKind, NetId};
+use emc_prng::{Rng, StdRng};
+use emc_sim::{
+    round_robin_assignment, PdesPartitionSpec, PdesSimulator, Simulator, SupplyKind, Trace,
+};
+use emc_units::{Seconds, Waveform};
+
+/// Action cadence — generous at the lowest rail voltage so the circuit
+/// is quiescent when the driver reads the sequential view.
+const STEP: f64 = 200e-9;
+const VOLTS: [f64; 3] = [1.0, 0.8, 0.6];
+
+fn specs(parts: usize) -> Vec<PdesPartitionSpec> {
+    (0..parts)
+        .map(|d| PdesPartitionSpec {
+            name: format!("vdd{d}"),
+            supply: SupplyKind::ideal(Waveform::constant(VOLTS[d % VOLTS.len()])),
+        })
+        .collect()
+}
+
+struct SeqRun {
+    canonical_digest: u64,
+    fired: u64,
+    switching: Vec<f64>,
+    total: Vec<f64>,
+    actions: Vec<(Seconds, NetId, bool)>,
+    t_final: Seconds,
+}
+
+/// Drives the sequential oracle: quiesce, pick one enabled environment
+/// action with the seeded PRNG, inject, repeat. Records the injected
+/// sequence so the PDES runs replay *exactly* the same stimulus.
+fn run_sequential(gc: &GeneratedCircuit, assignment: &[u32], parts: usize, seed: u64) -> SeqRun {
+    let rounds = 14usize;
+    let mut sim = Simulator::new(gc.netlist.clone(), DeviceModel::umc90());
+    let doms: Vec<_> = specs(parts)
+        .iter()
+        .map(|s| sim.add_domain(&s.name, s.supply.clone()))
+        .collect();
+    for (gid, g) in gc.netlist.iter_gates() {
+        if g.kind() == GateKind::Input {
+            continue;
+        }
+        sim.assign_domain(gid, doms[assignment[gid.index()] as usize]);
+    }
+    for &(net, v) in &gc.initial {
+        sim.set_initial(net, v);
+    }
+    for net in gc.netlist.iter_nets() {
+        sim.watch(net);
+    }
+    sim.start();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut env_state = gc.env.initial();
+    let mut actions = Vec::new();
+    let mut fired = 0u64;
+    for k in 0..rounds {
+        let t = Seconds(STEP * (k + 1) as f64);
+        fired += sim.run_until(t).fired;
+        let mut acts = gc.env.step(env_state, &SimView(&sim));
+        acts.retain(|a| sim.value(a.net) != a.value);
+        if acts.is_empty() {
+            continue;
+        }
+        let a = acts[rng.gen_range(0..acts.len())].clone();
+        sim.schedule_input(a.net, t, a.value);
+        env_state = a.next;
+        actions.push((t, a.net, a.value));
+    }
+    let t_final = Seconds(STEP * (rounds + 1) as f64);
+    fired += sim.run_until(t_final).fired;
+    assert!(
+        sim.hazards().is_empty(),
+        "{}: sequential run must be hazard-free",
+        gc.name
+    );
+    assert!(!actions.is_empty(), "{}: driver never acted", gc.name);
+    assert!(fired > 0, "{}: nothing fired", gc.name);
+    SeqRun {
+        canonical_digest: sim.trace().canonical_digest(),
+        fired,
+        switching: doms
+            .iter()
+            .map(|&d| sim.domain(d).switching_energy().0)
+            .collect(),
+        total: doms.iter().map(|&d| sim.energy_drawn(d).0).collect(),
+        actions,
+        t_final,
+    }
+}
+
+fn run_pdes(
+    gc: &GeneratedCircuit,
+    assignment: &[u32],
+    parts: usize,
+    threads: usize,
+    oracle: &SeqRun,
+) -> (Trace, u64) {
+    let mut sim = PdesSimulator::new(
+        gc.netlist.clone(),
+        DeviceModel::umc90(),
+        &specs(parts),
+        assignment,
+    );
+    sim.set_threads(threads);
+    for &(net, v) in &gc.initial {
+        sim.set_initial(net, v);
+    }
+    for net in gc.netlist.iter_nets() {
+        sim.watch(net);
+    }
+    sim.start();
+    let mut fired = 0u64;
+    for &(t, net, value) in &oracle.actions {
+        fired += sim.run_until(t).fired;
+        sim.schedule_input(net, t, value);
+    }
+    let stats = sim.run_until(oracle.t_final);
+    fired += stats.fired;
+    assert_eq!(
+        stats.hazards, 0,
+        "{}: PDES run must be hazard-free",
+        gc.name
+    );
+
+    assert_eq!(
+        oracle.fired, fired,
+        "{}: fired count diverged at {threads} threads",
+        gc.name
+    );
+    for p in 0..parts {
+        assert_eq!(
+            oracle.switching[p].to_bits(),
+            sim.switching_energy(p).0.to_bits(),
+            "{}: switching energy of domain {p} must be bit-identical",
+            gc.name
+        );
+        let (a, b) = (oracle.total[p], sim.energy_drawn(p).0);
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs().max(b.abs()),
+            "{}: total energy of domain {p} off by more than rounding: {a} vs {b}",
+            gc.name
+        );
+    }
+    (sim.trace(), fired)
+}
+
+/// The full three-way comparison for one circuit + assignment.
+fn assert_equivalent(gc: &GeneratedCircuit, assignment: &[u32], parts: usize, seed: u64) {
+    let oracle = run_sequential(gc, assignment, parts, seed);
+    let mut digests = Vec::new();
+    for threads in [1, 2, 8] {
+        let (trace, _) = run_pdes(gc, assignment, parts, threads, &oracle);
+        // The merged PDES trace is canonically sorted by construction,
+        // so its plain digest is directly comparable.
+        assert_eq!(
+            oracle.canonical_digest,
+            trace.digest(),
+            "{}: trace diverged from sequential at {threads} threads",
+            gc.name
+        );
+        digests.push(trace.digest());
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "{}: thread count changed the trace",
+        gc.name
+    );
+}
+
+/// Round-robin scatter over `parts` domains — maximal crossing stress.
+fn scatter(gc: &GeneratedCircuit, parts: usize, seed: u64) {
+    let assignment = round_robin_assignment(&gc.netlist, parts);
+    assert_equivalent(gc, &assignment, parts, seed);
+}
+
+#[test]
+fn completion_tree_scattered() {
+    scatter(&completion_tree(3, "t"), 3, 11);
+}
+
+#[test]
+fn wchb_datapath_scattered() {
+    scatter(&wchb_datapath(2, 2, "p"), 3, 12);
+}
+
+#[test]
+fn dims_adder_scattered() {
+    scatter(&dims_adder(2, "a"), 2, 13);
+}
+
+#[test]
+fn micropipeline_scattered() {
+    scatter(&micropipeline(4, "m"), 3, 14);
+}
+
+#[test]
+fn pipelined_array_row_domains() {
+    let gc = pipelined_array_domains(3, 2, 3, "ar");
+    let assignment = gc.domain_assignment();
+    assert_equivalent(&gc, &assignment, gc.domain_count(), 15);
+}
+
+#[test]
+fn block_graph_block_domains() {
+    let blocks = [
+        BlockSpec {
+            func: 0,
+            lhs: 0,
+            rhs: 1,
+        },
+        BlockSpec {
+            func: 2,
+            lhs: 3,
+            rhs: 2,
+        },
+        BlockSpec {
+            func: 4,
+            lhs: 3,
+            rhs: 4,
+        },
+    ];
+    let gc = block_graph_domains(3, &blocks, 2, "bg");
+    let assignment = gc.domain_assignment();
+    assert_equivalent(&gc, &assignment, gc.domain_count(), 16);
+}
+
+#[test]
+fn block_graph_scattered() {
+    let blocks = [
+        BlockSpec {
+            func: 1,
+            lhs: 0,
+            rhs: 1,
+        },
+        BlockSpec {
+            func: 5,
+            lhs: 2,
+            rhs: 3,
+        },
+    ];
+    scatter(&emc_gen::block_graph(3, &blocks, "bg"), 3, 17);
+}

@@ -1,6 +1,6 @@
 //! The circuit graph: nets, gates, builder API and well-formedness checks.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use crate::diag::{Diagnostic, Severity};
@@ -151,6 +151,9 @@ pub struct Netlist {
     net_names: Vec<String>,
     fanout: Vec<Vec<GateId>>,
     outputs: Vec<NetId>,
+    /// Membership mirror of `outputs`, so marking stays O(1) on netlists
+    /// with hundreds of thousands of declared outputs.
+    output_set: HashSet<NetId>,
     /// First net created under each name (duplicates never overwrite).
     name_index: HashMap<String, NetId>,
     /// CSR snapshot of the fanout lists, built by [`Netlist::freeze`] and
@@ -286,7 +289,7 @@ impl Netlist {
     /// Declares `net` as a circuit output (observed by the environment),
     /// exempting it from the floating-net check.
     pub fn mark_output(&mut self, net: NetId) {
-        if !self.outputs.contains(&net) {
+        if self.output_set.insert(net) {
             self.outputs.push(net);
         }
     }
@@ -324,6 +327,17 @@ impl Netlist {
     pub fn gate_id(&self, index: usize) -> GateId {
         assert!(index < self.gates.len(), "gate index out of range");
         GateId(index)
+    }
+
+    /// Recovers the [`NetId`] at dense `index` (the inverse of
+    /// [`NetId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.net_count()`.
+    pub fn net_id(&self, index: usize) -> NetId {
+        assert!(index < self.net_names.len(), "net index out of range");
+        NetId(index)
     }
 
     /// Iterates over `(GateId, &Gate)` in construction order.
@@ -482,7 +496,7 @@ impl Netlist {
             drivers[g.output.0] += 1;
         }
         for net in self.iter_nets() {
-            if self.fanout[net.0].is_empty() && !self.outputs.contains(&net) {
+            if self.fanout[net.0].is_empty() && !self.output_set.contains(&net) {
                 out.push(
                     Diagnostic::new(
                         "NET001",

@@ -1,0 +1,463 @@
+//! A calendar queue: the classic O(1)-amortized event list
+//! (Brown 1988), shared by the gate-level simulator and the fleet
+//! engine.
+//!
+//! A binary heap pays `O(log n)` per operation on the *whole* queue; a
+//! calendar queue buckets events into fixed-width "days" and only
+//! heap-orders the current day, so hold operations (pop one, push a
+//! successor a short delay later) cost `O(1)` amortized regardless of
+//! how many million events sit in later days. That is exactly the
+//! access pattern of a gate-level event loop, where every commit
+//! schedules fanout transitions one gate-delay ahead.
+//!
+//! Design notes, in the order they matter for correctness:
+//!
+//! * **Ordering is always by the entry's full [`Ord`]**, never by the
+//!   bucketing key alone. [`CalendarEntry::sort_time`] is only used to
+//!   pick a bucket; ties and near-ties are resolved by `Ord` inside the
+//!   per-day heap. The contract is monotonicity: `a <= b` must imply
+//!   `a.sort_time() <= b.sort_time()`.
+//! * **Bucket membership is defined by the day index function alone**
+//!   (`floor((t - origin) / width)`), never by interval tests against
+//!   accumulated boundaries. The index function is monotone in `t`, so
+//!   serving day `k` before day `k+1` is order-correct even when
+//!   floating-point rounding places an entry one ulp across a
+//!   boundary.
+//! * **The queue starts in plain heap mode** and only spreads into a
+//!   calendar once it has seen enough entries to calibrate a day width
+//!   ([`CALIBRATE_LEN`]). Small queues — unit tests, the fleet's
+//!   per-shard queues at smoke scale — keep exactly their old
+//!   binary-heap behaviour and cost.
+//! * **Year resize on overflow:** entries beyond the ring of
+//!   [`N_DAYS`] days wait in an overflow list; when the ring drains or
+//!   the overflow outgrows the live window, the queue re-anchors and
+//!   re-buckets everything with a freshly estimated width.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An entry storable in a [`CalendarQueue`].
+///
+/// `sort_time` is the bucketing key. It must be monotone with respect
+/// to `Ord` (`a <= b` ⇒ `a.sort_time() <= b.sort_time()`) and must
+/// never be NaN. Entries that compare equal by time are still totally
+/// ordered by the rest of their `Ord` key (sequence numbers etc.), and
+/// the queue pops them in exactly that order.
+pub trait CalendarEntry: Ord {
+    /// The bucketing key, typically the event's absolute time.
+    fn sort_time(&self) -> f64;
+}
+
+/// Number of day buckets in the ring. Fixed; the *width* of a day is
+/// what calibration adjusts.
+const N_DAYS: usize = 1024;
+
+/// Queue length at which heap mode attempts its first calibration.
+const CALIBRATE_LEN: usize = 2048;
+
+/// Calibration aims for this many entries per day bucket.
+const TARGET_PER_DAY: f64 = 16.0;
+
+/// A deterministic min-queue with O(1) amortized hold operations.
+///
+/// Drop-in replacement for `BinaryHeap<Reverse<E>>`: pops come out in
+/// ascending `Ord` order, bit-for-bit reproducibly — the pop sequence
+/// depends only on the push sequence, never on calibration timing,
+/// because ordering is always decided by `Ord` and bucket serving is
+/// monotone.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E: CalendarEntry> {
+    /// Entries of the current day (and any pushed into the past),
+    /// heap-ordered by full `Ord`. In heap mode, holds everything.
+    front: BinaryHeap<Reverse<E>>,
+    /// The ring of future day buckets; slot for day `k` is
+    /// `k % N_DAYS`. Unsorted — sorted on drain by the front heap.
+    days: Vec<Vec<E>>,
+    /// Total entries across `days`.
+    days_len: usize,
+    /// Entries beyond the ring's one-year window (or parked at huge
+    /// times), waiting for the window to reach them.
+    overflow: Vec<E>,
+    /// Smallest day index present in `overflow` (i64::MAX when empty).
+    overflow_min_k: i64,
+    /// Day index currently served by `front`.
+    cur_k: i64,
+    /// Absolute time anchor of day 0.
+    origin: f64,
+    /// Day width; `0.0` while in heap mode.
+    width: f64,
+    /// Total entries in the queue.
+    len: usize,
+    /// `false` = heap mode (uncalibrated).
+    calendar_active: bool,
+    /// Length at which the next calibration attempt runs.
+    recalibrate_at: usize,
+}
+
+impl<E: CalendarEntry> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: CalendarEntry> CalendarQueue<E> {
+    /// An empty queue (heap mode until it grows past the calibration
+    /// threshold).
+    pub fn new() -> Self {
+        Self {
+            front: BinaryHeap::new(),
+            days: Vec::new(),
+            days_len: 0,
+            overflow: Vec::new(),
+            overflow_min_k: i64::MAX,
+            cur_k: 0,
+            origin: 0.0,
+            width: 0.0,
+            len: 0,
+            calendar_active: false,
+            recalibrate_at: CALIBRATE_LEN,
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Day index of `t` under the current calibration. Monotone in `t`;
+    /// saturates at the i64 range ends for huge park times.
+    #[inline]
+    fn day_of(&self, t: f64) -> i64 {
+        ((t - self.origin) / self.width).floor() as i64
+    }
+
+    /// Adds an entry.
+    pub fn push(&mut self, e: E) {
+        self.len += 1;
+        if !self.calendar_active {
+            self.front.push(Reverse(e));
+            if self.len >= self.recalibrate_at {
+                self.recalibrate();
+            }
+            return;
+        }
+        let k = self.day_of(e.sort_time());
+        if k <= self.cur_k {
+            self.front.push(Reverse(e));
+        } else if k - self.cur_k < N_DAYS as i64 {
+            self.days[(k.rem_euclid(N_DAYS as i64)) as usize].push(e);
+            self.days_len += 1;
+        } else {
+            self.overflow_min_k = self.overflow_min_k.min(k);
+            self.overflow.push(e);
+            // Year resize: an overflow outgrowing the live window means
+            // the calibrated width no longer fits the distribution.
+            if self.overflow.len() > self.len / 2 && self.len >= self.recalibrate_at {
+                self.recalibrate();
+            }
+        }
+    }
+
+    /// Removes and returns the smallest entry (by `Ord`).
+    pub fn pop(&mut self) -> Option<E> {
+        if self.front.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+        let Reverse(e) = self.front.pop()?;
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// The smallest entry, without removing it. Takes `&mut self`
+    /// because reaching it may require draining the next day bucket
+    /// into the front heap.
+    pub fn peek(&mut self) -> Option<&E> {
+        if self.front.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+        self.front.peek().map(|Reverse(e)| e)
+    }
+
+    /// Iterates over every queued entry in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.front
+            .iter()
+            .map(|Reverse(e)| e)
+            .chain(self.days.iter().flatten())
+            .chain(self.overflow.iter())
+    }
+
+    /// Front heap is empty but the queue is not: migrate due overflow,
+    /// then drain the next non-empty day into the front heap.
+    fn advance(&mut self) {
+        debug_assert!(self.front.is_empty() && self.len > 0);
+        debug_assert!(self.calendar_active, "heap mode never advances");
+        loop {
+            // Pull overflow entries whose day has entered the window.
+            if self.overflow_min_k - self.cur_k < N_DAYS as i64 {
+                self.sweep_overflow();
+            }
+            if self.days_len == 0 {
+                if self.overflow.is_empty() {
+                    // len > 0 but nothing anywhere: impossible.
+                    unreachable!("calendar queue accounting corrupted");
+                }
+                // Everything left lives beyond the year window:
+                // re-anchor around it.
+                self.recalibrate();
+                if !self.front.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            for i in 1..=N_DAYS as i64 {
+                let k = self.cur_k + i;
+                let slot = (k.rem_euclid(N_DAYS as i64)) as usize;
+                if self.days[slot].is_empty() {
+                    continue;
+                }
+                self.cur_k = k;
+                let day = std::mem::take(&mut self.days[slot]);
+                self.days_len -= day.len();
+                for e in day {
+                    self.front.push(Reverse(e));
+                }
+                return;
+            }
+            // A full year of empty days but days_len > 0 is impossible
+            // (every bucketed entry is within the window); the sweep
+            // above may still have put everything in overflow range.
+            self.cur_k += N_DAYS as i64;
+        }
+    }
+
+    /// Moves overflow entries whose day index is now within the year
+    /// window into their buckets (or the front heap).
+    fn sweep_overflow(&mut self) {
+        let mut kept = Vec::with_capacity(self.overflow.len());
+        let mut kept_min = i64::MAX;
+        for e in std::mem::take(&mut self.overflow) {
+            let k = self.day_of(e.sort_time());
+            if k <= self.cur_k {
+                self.front.push(Reverse(e));
+            } else if k - self.cur_k < N_DAYS as i64 {
+                self.days[(k.rem_euclid(N_DAYS as i64)) as usize].push(e);
+                self.days_len += 1;
+            } else {
+                kept_min = kept_min.min(k);
+                kept.push(e);
+            }
+        }
+        self.overflow = kept;
+        self.overflow_min_k = kept_min;
+    }
+
+    /// Re-anchors the calendar: estimates a day width from the current
+    /// contents and re-buckets everything. Falls back to (or stays in)
+    /// heap mode when the contents give no usable spread — e.g. all
+    /// entries at one instant — and retries after the queue doubles.
+    fn recalibrate(&mut self) {
+        let mut all: Vec<E> = Vec::with_capacity(self.len);
+        all.extend(self.front.drain().map(|Reverse(e)| e));
+        for d in &mut self.days {
+            all.append(d);
+        }
+        all.append(&mut self.overflow);
+        self.days_len = 0;
+        self.overflow_min_k = i64::MAX;
+        debug_assert_eq!(all.len(), self.len);
+
+        // Width estimate: spread of the inner 7/8 of the observed times
+        // (robust against a few parked far-future entries), aiming for
+        // TARGET_PER_DAY entries per bucket.
+        let mut times: Vec<f64> = all.iter().map(|e| e.sort_time()).collect();
+        times.sort_by(f64::total_cmp);
+        let lo = times[0];
+        let hi = times[times.len() * 7 / 8];
+        let span = hi - lo;
+        let width = span / (times.len() as f64 / TARGET_PER_DAY).max(1.0);
+        if !width.is_finite() || width <= 0.0 {
+            // Degenerate distribution: stay a heap, try again later.
+            self.calendar_active = false;
+            self.width = 0.0;
+            self.recalibrate_at = (self.len * 2).max(CALIBRATE_LEN);
+            for e in all {
+                self.front.push(Reverse(e));
+            }
+            return;
+        }
+        self.calendar_active = true;
+        self.origin = lo;
+        self.width = width;
+        self.cur_k = 0;
+        self.recalibrate_at = (self.len * 2).max(CALIBRATE_LEN);
+        if self.days.is_empty() {
+            self.days = (0..N_DAYS).map(|_| Vec::new()).collect();
+        }
+        let len = self.len;
+        self.len = 0; // re-counted by push
+        for e in all {
+            self.push(e);
+        }
+        debug_assert_eq!(self.len, len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Ev {
+        time_bits: u64,
+        seq: u64,
+    }
+
+    impl Ev {
+        fn new(t: f64, seq: u64) -> Self {
+            assert!(t >= 0.0);
+            Ev {
+                time_bits: t.to_bits(),
+                seq,
+            }
+        }
+        fn time(&self) -> f64 {
+            f64::from_bits(self.time_bits)
+        }
+    }
+
+    impl CalendarEntry for Ev {
+        fn sort_time(&self) -> f64 {
+            self.time()
+        }
+    }
+
+    fn drain(q: &mut CalendarQueue<Ev>) -> Vec<Ev> {
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn pops_ascend_and_break_ties_by_seq() {
+        let mut q = CalendarQueue::new();
+        q.push(Ev::new(5.0, 1));
+        q.push(Ev::new(1.0, 2));
+        q.push(Ev::new(5.0, 0));
+        q.push(Ev::new(3.0, 3));
+        let order: Vec<(f64, u64)> = drain(&mut q).iter().map(|e| (e.time(), e.seq)).collect();
+        assert_eq!(order, vec![(1.0, 2), (3.0, 3), (5.0, 0), (5.0, 1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_mode_pops_match_a_reference_sort() {
+        // Enough entries to trip calibration, spread over a wide range
+        // with heavy ties.
+        let mut q = CalendarQueue::new();
+        let mut reference = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for seq in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = ((x >> 11) % 1000) as f64 * 0.5e-9;
+            let e = Ev::new(t, seq);
+            q.push(e);
+            reference.push(e);
+        }
+        reference.sort();
+        assert_eq!(drain(&mut q), reference);
+    }
+
+    #[test]
+    fn interleaved_push_pop_holds_order() {
+        // The hold pattern: pop one, push a successor slightly later.
+        let mut q = CalendarQueue::new();
+        for seq in 0..4096u64 {
+            q.push(Ev::new(seq as f64 * 1e-9, seq));
+        }
+        let mut seq = 4096u64;
+        let mut last = f64::NEG_INFINITY;
+        for _ in 0..100_000 {
+            let e = q.pop().expect("queue stays populated");
+            assert!(e.time() >= last, "time went backwards");
+            last = e.time();
+            q.push(Ev::new(e.time() + 3.7e-9, seq));
+            seq += 1;
+        }
+    }
+
+    #[test]
+    fn far_future_entries_survive_in_overflow() {
+        let mut q = CalendarQueue::new();
+        q.push(Ev::new(f64::MAX / 2.0, 0));
+        for seq in 1..=CALIBRATE_LEN as u64 {
+            q.push(Ev::new(seq as f64 * 1e-9, seq));
+        }
+        let popped = drain(&mut q);
+        assert_eq!(popped.len(), CALIBRATE_LEN + 1);
+        assert_eq!(popped.last().expect("non-empty").time(), f64::MAX / 2.0);
+    }
+
+    #[test]
+    fn overflow_migrates_before_nearer_events_run_dry() {
+        // An entry far beyond the initial year window must still pop in
+        // its correct position once the window reaches it.
+        let mut q = CalendarQueue::new();
+        for seq in 0..CALIBRATE_LEN as u64 {
+            q.push(Ev::new(seq as f64 * 1e-9, seq));
+        }
+        // Way out: thousands of day-widths beyond the window.
+        let far = Ev::new(1.0, u64::MAX);
+        q.push(far);
+        let mut between = Vec::new();
+        for i in 0..100u64 {
+            between.push(Ev::new(0.9 + i as f64 * 1e-4, 1_000_000 + i));
+        }
+        for e in &between {
+            q.push(*e);
+        }
+        let popped = drain(&mut q);
+        let pos_far = popped.iter().position(|e| *e == far).expect("far entry");
+        for b in &between {
+            let pos_b = popped.iter().position(|e| e == b).expect("between entry");
+            assert!(pos_b < pos_far, "0.9xx must pop before 1.0");
+        }
+        assert_eq!(pos_far, popped.len() - 1);
+    }
+
+    #[test]
+    fn all_equal_times_degenerate_gracefully() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..(CALIBRATE_LEN as u64 * 3) {
+            q.push(Ev::new(1e-9, seq));
+        }
+        let popped = drain(&mut q);
+        let seqs: Vec<u64> = popped.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "FIFO by seq");
+    }
+
+    #[test]
+    fn peek_matches_pop_and_iter_counts() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..5000u64 {
+            q.push(Ev::new((seq % 97) as f64, seq));
+        }
+        assert_eq!(q.iter().count(), 5000);
+        assert_eq!(q.len(), 5000);
+        while let Some(&head) = q.peek() {
+            assert_eq!(q.pop(), Some(head));
+        }
+        assert_eq!(q.len(), 0);
+    }
+}

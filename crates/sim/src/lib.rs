@@ -59,21 +59,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod campaign;
 pub mod delay;
 pub mod domain;
 mod obs;
+pub mod pdes;
 pub mod simulator;
 pub mod sta;
 pub mod trace;
 pub mod vcd;
 
+pub use calendar::{CalendarEntry, CalendarQueue};
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignReport, RunContext, RunReport, SimCampaign, SimJob,
     StopCondition,
 };
 pub use domain::{DomainId, PowerDomain, SupplyKind};
-pub use simulator::{ActivityRecord, FiredEvent, Hazard, RunStats, Simulator};
+pub use pdes::{round_robin_assignment, PdesPartitionSpec, PdesSimulator, PdesStats};
+pub use simulator::{ActivityRecord, FiredEvent, Hazard, PdesEmission, RunStats, Simulator};
 pub use sta::{longest_path, StaReport};
 pub use trace::{Trace, TraceEntry};
 pub use vcd::{to_vcd, to_vcd_with_analog, AnalogTrack};

@@ -1,7 +1,7 @@
 //! The event-driven simulation engine.
 
 use std::cell::Cell;
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use emc_device::DeviceModel;
@@ -9,6 +9,7 @@ use emc_netlist::{GateId, GateKind, NetId, Netlist};
 use emc_obs::{EnergyKind, Telemetry};
 use emc_units::{Farads, Joules, Seconds, Volts, Watts};
 
+use crate::calendar::{CalendarEntry, CalendarQueue};
 use crate::delay::{completion_time, Completion};
 use crate::domain::{DomainId, PowerDomain, SupplyKind};
 use crate::obs::SimObs;
@@ -92,11 +93,17 @@ impl PartialOrd for QueuedEvent {
 }
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // Natural ascending (time, seq) order; the calendar queue pops
+        // its minimum first.
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl CalendarEntry for QueuedEvent {
+    fn sort_time(&self) -> f64 {
+        self.time
     }
 }
 
@@ -119,6 +126,41 @@ struct Pending {
     stalled: bool,
 }
 
+/// A committed transition on an exported (partition-crossing) gate,
+/// queued for delivery to the consuming partitions by the PDES driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdesEmission {
+    /// Index into the export table registered with
+    /// [`Simulator::pdes_set_exports`].
+    pub export: u32,
+    /// Absolute time of the transition.
+    pub time: Seconds,
+    /// The new output value.
+    pub value: bool,
+}
+
+/// Conservative-PDES support state, present only when this simulator is
+/// one partition of a [`crate::pdes::PdesSimulator`]. The sequential
+/// event loop pays one `Option` check per event when this is `None`.
+#[derive(Debug, Clone)]
+struct PdesHooks {
+    /// Per-gate export-table index; `u32::MAX` for non-exported gates.
+    export_of: Vec<u32>,
+    /// Dense list of exporting gate indices (for the lookahead scan).
+    export_gates: Vec<usize>,
+    /// Min-heap of `(time bits, gate, seq)` for queued events on
+    /// exporting gates. Entries are invalidated lazily: one is live iff
+    /// `pending_seq[gate]` still equals its seq.
+    export_heap: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Seq of each gate's live queue entry (0 = none). Only consulted
+    /// for exporting gates, but maintained for all so the pop path
+    /// stays branch-cheap.
+    pending_seq: Vec<u64>,
+    /// Exported transitions committed since the last
+    /// [`Simulator::pdes_take_outbox`], in commit order.
+    outbox: Vec<PdesEmission>,
+}
+
 /// The discrete-event simulator. See the [crate documentation](crate) for
 /// the modelling rules.
 #[derive(Debug, Clone)]
@@ -130,7 +172,7 @@ pub struct Simulator {
     values: Vec<bool>,
     pending: Vec<Option<Pending>>,
     epochs: Vec<u64>,
-    queue: BinaryHeap<QueuedEvent>,
+    queue: CalendarQueue<QueuedEvent>,
     seq: u64,
     now: Seconds,
     started: bool,
@@ -155,9 +197,17 @@ pub struct Simulator {
     /// `(voltage bits, watts)` memo for the device leakage law (also an
     /// `exp`), shared by all domains — the key is the voltage alone.
     leak_memo: Cell<(u64, f64)>,
+    /// Per-gate fanout-load override in [`GateKind::input_load_factor`]
+    /// units; NaN = use the frozen CSR value. Set by the PDES driver on
+    /// exporting gates so a partition slice computes bit-identical
+    /// delays and switching energy to the whole-netlist simulation even
+    /// though foreign consumers are absent from the slice.
+    fanout_units_override: Vec<f64>,
     /// Live observability state; `None` (the default) keeps the event
     /// loop's only obs cost at one pointer-is-null branch per event.
     obs: Option<Box<SimObs>>,
+    /// Conservative-PDES partition hooks; `None` outside PDES runs.
+    pdes: Option<Box<PdesHooks>>,
 }
 
 /// Memo key that no rail voltage produces: a quiet-NaN bit pattern. A
@@ -191,7 +241,7 @@ impl Simulator {
             values,
             pending: vec![None; gates],
             epochs: vec![0; gates],
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
             now: Seconds(0.0),
             started: false,
@@ -206,7 +256,9 @@ impl Simulator {
             window_steps: 4096.0,
             delay_memo: vec![Cell::new((MEMO_INVALID, 0.0)); gates],
             leak_memo: Cell::new((MEMO_INVALID, 0.0)),
+            fanout_units_override: vec![f64::NAN; gates],
             obs: None,
+            pdes: None,
         }
     }
 
@@ -564,16 +616,24 @@ impl Simulator {
     }
 
     fn step_outcome(&mut self, bound: Option<f64>) -> StepOutcome {
+        self.step_outcome_admit(|t| bound.is_none_or(|b| t <= b))
+    }
+
+    fn step_outcome_admit(&mut self, admit: impl Fn(f64) -> bool) -> StepOutcome {
         loop {
             let Some(head) = self.queue.peek() else {
                 return StepOutcome::Exhausted;
             };
-            if let Some(b) = bound {
-                if head.time > b {
-                    return StepOutcome::Exhausted;
-                }
+            if !admit(head.time) {
+                return StepOutcome::Exhausted;
             }
             let ev = self.queue.pop().expect("peeked entry vanished");
+            if let Some(h) = self.pdes.as_deref_mut() {
+                // The popped entry is no longer the gate's live event.
+                if h.pending_seq[ev.gate] == ev.seq {
+                    h.pending_seq[ev.gate] = 0;
+                }
+            }
             let gate = self.netlist.gate_id(ev.gate);
             let kind = self.netlist.gate_ref(gate).kind();
             // Stale (cancelled or superseded) entries are dropped.
@@ -609,6 +669,16 @@ impl Simulator {
                 obs.telemetry
                     .metrics
                     .raise_gauge(obs.queue_high_water, depth);
+            }
+            if let Some(h) = self.pdes.as_deref_mut() {
+                let ex = h.export_of[ev.gate];
+                if ex != u32::MAX {
+                    h.outbox.push(PdesEmission {
+                        export: ex,
+                        time: Seconds(ev.time),
+                        value: ev.value,
+                    });
+                }
             }
             return StepOutcome::Fired(self.commit(gate, out_net, ev.value, Seconds(ev.time)));
         }
@@ -667,6 +737,145 @@ impl Simulator {
         fired
     }
 
+    // ----- PDES driver hooks ----------------------------------------
+    //
+    // These methods exist for `crate::pdes::PdesSimulator`, which runs
+    // one `Simulator` per Vdd-domain slice and needs (a) conservative
+    // export-time floors for the synchronization protocol and (b) the
+    // cross-domain emissions each window produced. They are harmless
+    // (and cheap: one `Option` check) when unused.
+
+    /// Overrides the fanout load units used in [`Simulator::output_load`]
+    /// for one gate. The PDES driver sets this on domain-crossing
+    /// (exporting) gates so a partition slice — whose local CSR is
+    /// missing the foreign fanout — computes bit-identical delays and
+    /// switching energy to the global netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `units` is finite and non-negative.
+    pub fn set_fanout_units_override(&mut self, gate: GateId, units: f64) {
+        assert!(
+            units.is_finite() && units >= 0.0,
+            "fanout override must be finite and non-negative"
+        );
+        self.fanout_units_override[gate.index()] = units;
+        self.delay_memo[gate.index()].set((MEMO_INVALID, 0.0));
+    }
+
+    /// Installs the PDES hooks. `export_of[g]` names the export slot a
+    /// firing of gate `g` must be reported on (`u32::MAX` = not
+    /// exporting). Must be called before [`Simulator::start`] so every
+    /// queued event is tracked by the export heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `start`, or if `export_of` is the wrong length.
+    pub fn pdes_set_exports(&mut self, export_of: Vec<u32>) {
+        assert!(!self.started, "pdes_set_exports after start");
+        assert_eq!(export_of.len(), self.netlist.gate_count());
+        let export_gates: Vec<usize> = export_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e != u32::MAX)
+            .map(|(i, _)| i)
+            .collect();
+        self.pdes = Some(Box::new(PdesHooks {
+            export_of,
+            export_gates,
+            export_heap: BinaryHeap::new(),
+            pending_seq: vec![0; self.netlist.gate_count()],
+            outbox: Vec::new(),
+        }));
+    }
+
+    /// Time of the earliest queued event, if any.
+    pub fn pdes_head_time(&mut self) -> Option<f64> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Conservative lower bound on the time of this partition's next
+    /// *export* (domain-crossing) firing, given the global minimum head
+    /// time `m`: `min(export_head, m + dmin)` where `dmin` is the
+    /// smallest delay any exporting gate can exhibit at the highest rail
+    /// voltage it may still see (ideal-constant rails are exact;
+    /// capacitor rails only sag within a run, so "now" is the maximum).
+    /// A non-constant ideal waveform defeats lookahead, and the floor
+    /// degrades to `m` (lockstep — correct, just slow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Simulator::pdes_set_exports`] was never called.
+    pub fn pdes_export_floor(&mut self, m: f64) -> f64 {
+        let mut hooks = self.pdes.take().expect("pdes hooks not installed");
+        // Drop export-heap entries superseded by a reschedule or already
+        // popped (lazy deletion keyed on the live queue seq).
+        while let Some(&Reverse((_, g, s))) = hooks.export_heap.peek() {
+            if hooks.pending_seq[g] == s {
+                break;
+            }
+            hooks.export_heap.pop();
+        }
+        let export_head = hooks
+            .export_heap
+            .peek()
+            .map_or(f64::INFINITY, |&Reverse((t, _, _))| f64::from_bits(t));
+        let mut dmin = f64::INFINITY;
+        let mut zero_lookahead = false;
+        for &g in &hooks.export_gates {
+            let gate = self.netlist.gate_id(g);
+            let domain_id = self.gate_domain[g].expect("export gate without domain");
+            let domain = &self.domains[domain_id.0];
+            let v = match domain.kind() {
+                SupplyKind::Capacitor { .. } => domain.voltage(self.now),
+                SupplyKind::Ideal { waveform, .. } => match waveform.as_constant() {
+                    Some(v) => Volts(v),
+                    None => {
+                        zero_lookahead = true;
+                        break;
+                    }
+                },
+            };
+            let td = self.delay_at_voltage(gate, v);
+            if td.0.is_finite() {
+                dmin = dmin.min(td.0);
+            }
+        }
+        self.pdes = Some(hooks);
+        if zero_lookahead {
+            return export_head.min(m);
+        }
+        export_head.min(m + dmin)
+    }
+
+    /// Takes the cross-domain emissions accumulated since the last call,
+    /// in firing order. Empty (not a panic) when hooks are not installed.
+    pub fn pdes_take_outbox(&mut self) -> Vec<PdesEmission> {
+        match self.pdes.as_deref_mut() {
+            Some(h) => std::mem::take(&mut h.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Runs one conservative PDES window: pops events while their time
+    /// is strictly below `bound` (and within `t_end`), or exactly equal
+    /// to the global minimum head `m` (the m-rule that guarantees
+    /// progress when every floor collapses onto the minimum). Returns
+    /// `(fired, spins)` where spins counts integration-window
+    /// progressions, so the driver can bound stalled supplies.
+    pub fn pdes_step_window(&mut self, bound: f64, m: f64, t_end: f64) -> (u64, u64) {
+        let mut fired = 0u64;
+        let mut spins = 0u64;
+        loop {
+            match self.step_outcome_admit(|t| (t < bound && t <= t_end) || t == m) {
+                StepOutcome::Fired(_) => fired += 1,
+                StepOutcome::Progressed => spins += 1,
+                StepOutcome::Exhausted => break,
+            }
+        }
+        (fired, spins)
+    }
+
     // ----- internals ------------------------------------------------
 
     fn next_seq(&mut self) -> u64 {
@@ -704,7 +913,12 @@ impl Simulator {
     fn output_load(&self, gate: GateId) -> Farads {
         let g = self.netlist.gate_ref(gate);
         let p = self.device.params();
-        let fanout_units = self.netlist.fanout_load_units(g.output());
+        let over = self.fanout_units_override[gate.index()];
+        let fanout_units = if over.is_nan() {
+            self.netlist.fanout_load_units(g.output())
+        } else {
+            over
+        };
         Farads(
             p.drain_cap.0 * g.drive()
                 + p.gate_cap.0 * fanout_units
@@ -819,6 +1033,9 @@ impl Simulator {
                 value,
                 stalled: true,
             });
+            if let Some(h) = self.pdes.as_deref_mut() {
+                h.pending_seq[gate.index()] = 0;
+            }
             return;
         }
         self.pending[gate.index()] = Some(Pending {
@@ -840,6 +1057,13 @@ impl Simulator {
             progress,
             complete,
         };
+        if let Some(h) = self.pdes.as_deref_mut() {
+            h.pending_seq[gate.index()] = ev.seq;
+            if h.export_of[gate.index()] != u32::MAX {
+                h.export_heap
+                    .push(Reverse((ev.time.to_bits(), gate.index(), ev.seq)));
+            }
+        }
         self.push_event(ev);
     }
 

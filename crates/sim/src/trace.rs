@@ -115,6 +115,38 @@ impl Trace {
         }
         h
     }
+
+    /// Like [`Trace::digest`], but over the entries in canonical
+    /// `(time, net, value)` order rather than recording order. Two runs
+    /// that fire the same transitions but interleave *same-timestamp*
+    /// events differently — a sequential run versus a PDES run whose
+    /// partitions merge equal-time batches, say — digest equal here
+    /// while plain `digest` would not. Confluence of speed-independent
+    /// circuits makes this reordering sound: equal-time enabled firings
+    /// commute.
+    pub fn canonical_digest(&self) -> u64 {
+        let mut keys: Vec<(u64, usize, bool)> = self
+            .entries
+            .iter()
+            .map(|e| (e.time.0.to_bits(), e.net.index(), e.value))
+            .collect();
+        keys.sort_unstable();
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (t, n, v) in keys {
+            eat(&t.to_le_bytes());
+            eat(&(n as u64).to_le_bytes());
+            eat(&[v as u8]);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
