@@ -1,0 +1,102 @@
+//! Alternative logic families as energy-modulated design points.
+//!
+//! The paper's §II contrasts two design styles — speed-independent
+//! dual-rail and bundled-data — and argues that energy should modulate
+//! *quality of service*, not correctness. This crate widens that design
+//! space with three families whose energy/op trades differently against
+//! supply, time and error handling:
+//!
+//! * [`adiabatic`] — gates powered from a staggered
+//!   [`emc_power::PowerClock`] ladder: dissipation scales as
+//!   `ξ·(RC/T)·C·V²` with ramp time `T`, and ramp-down *recovers*
+//!   charge into the supply instead of dumping it. Runs are scheduled
+//!   against the clock's phase discipline and checked by the
+//!   `emc-verify` `PC` rules;
+//! * [`recovery`] — a charge-recovery toggle memory: the
+//!   charge-to-digital converter's oscillator + ripple counter run for
+//!   a bounded burst, after which the residual sampled charge is
+//!   recycled through a recovery rail with configurable return
+//!   efficiency instead of being drained to the floor;
+//! * [`razor`] — Razor-style bundled data: every capture flip-flop has
+//!   a shadow latch clocked by an extended delay line; disagreement
+//!   flags a timing violation deterministically, the word is replayed
+//!   with stretched timing (an energy penalty), and a DVS controller
+//!   servoes Vdd to a target error rate instead of a worst-case margin.
+//!
+//! Together with the two classic styles from `emc-core` this gives five
+//! [`LogicFamily`] design points for the figures and ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adiabatic;
+pub mod razor;
+pub mod recovery;
+
+pub use adiabatic::{AdiabaticPipeline, AdiabaticRun};
+pub use razor::{RazorDvsController, RazorOutcome, RazorPipeline, RazorStage};
+pub use recovery::{ChargeRecoveryMemory, RecoveryOp, RecoverySession};
+
+/// The five logic families compared by the energy/op figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicFamily {
+    /// Dual-rail, completion-detected, speed-independent (Design 1).
+    SpeedIndependent,
+    /// Single-rail data bundled with a matched delay line (Design 2).
+    BundledData,
+    /// Power-clocked adiabatic logic with charge recovery on ramp-down.
+    Adiabatic,
+    /// Charge-recovery toggle memory with a return rail.
+    ChargeRecovery,
+    /// Bundled data with Razor shadow latches, replay and DVS.
+    RazorDvs,
+}
+
+impl LogicFamily {
+    /// All families, in the order figures plot them.
+    pub const ALL: [LogicFamily; 5] = [
+        LogicFamily::SpeedIndependent,
+        LogicFamily::BundledData,
+        LogicFamily::Adiabatic,
+        LogicFamily::ChargeRecovery,
+        LogicFamily::RazorDvs,
+    ];
+
+    /// Stable lower-case label (JSON output, series names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LogicFamily::SpeedIndependent => "si-dual-rail",
+            LogicFamily::BundledData => "bundled-data",
+            LogicFamily::Adiabatic => "adiabatic",
+            LogicFamily::ChargeRecovery => "charge-recovery",
+            LogicFamily::RazorDvs => "razor-dvs",
+        }
+    }
+}
+
+impl core::fmt::Display for LogicFamily {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<&str> = LogicFamily::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "si-dual-rail",
+                "bundled-data",
+                "adiabatic",
+                "charge-recovery",
+                "razor-dvs"
+            ]
+        );
+        assert_eq!(LogicFamily::Adiabatic.to_string(), "adiabatic");
+    }
+}

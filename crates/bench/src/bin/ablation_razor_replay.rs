@@ -1,0 +1,104 @@
+//! Razor replay ablation: what error detection, replay and DVS buy.
+//!
+//! First series sweeps Vdd and reports, per voltage, how many timing
+//! violations the shadow latches detect, how many replays recover them,
+//! the fraction of transfer energy spent on replays, and the delivered
+//! correct fraction — against the silently-corrupting plain bundled
+//! pipeline from Fig. 2. Second series runs the
+//! [`emc_altlogic::RazorDvsController`] servo closed-loop on the same
+//! rig: starting from nominal Vdd, each window measures the detected
+//! error rate and steps the supply, walking down the worst-case margin
+//! until errors just begin to appear.
+
+use emc_altlogic::RazorDvsController;
+use emc_bench::{campaign_series, print_campaign_summary, CampaignArgs, Series};
+use emc_core::families::{family_words, measure_razor_outcome};
+use emc_core::qos::{measure_pipeline_qos, DesignStyle};
+use emc_sim::campaign::{run_campaign, RunReport};
+use emc_units::Volts;
+
+fn main() {
+    let args = CampaignArgs::parse(7);
+    let full = [0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0];
+    let smoke = [0.3, 0.5, 1.0];
+    let grid: &[f64] = if args.smoke { &smoke } else { &full };
+    let seed = args.seed;
+    let words = family_words();
+
+    let report = run_campaign(grid, &args.config(), |&v, ctx| {
+        let out = measure_razor_outcome(Volts(v), seed);
+        let correct = out
+            .received
+            .iter()
+            .zip(&words)
+            .filter(|(a, b)| a == b)
+            .count();
+        let quality = if out.completed && !out.received.is_empty() {
+            correct as f64 / words.len() as f64
+        } else {
+            0.0
+        };
+        let replay_fraction = if out.energy.0 > 0.0 {
+            out.replay_energy.0 / out.energy.0
+        } else {
+            0.0
+        };
+        let bundled = measure_pipeline_qos(DesignStyle::BundledData, Volts(v), seed);
+        RunReport::from_values(
+            ctx,
+            vec![
+                v,
+                out.errors_detected as f64,
+                out.replays as f64,
+                out.unresolved as f64,
+                replay_fraction,
+                quality,
+                bundled.correct_fraction,
+            ],
+        )
+    });
+    let s = campaign_series(
+        "ablation_razor_replay",
+        "Razor detection/replay vs Vdd, against silent bundled corruption",
+        &[
+            "vdd_V",
+            "errors_detected",
+            "replays",
+            "unresolved",
+            "replay_energy_fraction",
+            "razor_correct_fraction",
+            "bundled_correct_fraction",
+        ],
+        &report,
+    );
+    s.emit();
+    print_campaign_summary(&report);
+
+    // Closed-loop DVS: servo Vdd to a 10% detected-error target. The
+    // loop is stateful, so it runs serially (still seed-deterministic).
+    let mut ctl = RazorDvsController::new(Volts(1.0), Volts(0.25), Volts(1.0), Volts(0.05), 0.10);
+    let windows = if args.smoke { 6 } else { 16 };
+    let mut servo = Series::new(
+        "ablation_razor_dvs",
+        "DVS servo trajectory toward the target detected-error rate",
+        &["window", "vdd_V", "detected_error_rate"],
+    );
+    for w in 0..windows {
+        let vdd = ctl.vdd();
+        let out = measure_razor_outcome(vdd, seed);
+        let rate = if out.received.is_empty() {
+            1.0
+        } else {
+            out.errors_detected as f64 / out.received.len() as f64
+        };
+        servo.push(vec![w as f64, vdd.0, rate]);
+        ctl.observe(out.errors_detected, out.received.len());
+    }
+    servo.emit();
+    println!("Shape check: at nominal Vdd nothing is detected and nothing is");
+    println!("replayed; as Vdd falls, violations appear and replays hold the");
+    println!("correct fraction above the bundled curve at a bounded replay");
+    println!("energy fraction. The servo walks Vdd down from nominal until");
+    println!("the detected-error rate enters the target band — trading the");
+    println!("worst-case margin for occasional, paid-for replays.");
+}

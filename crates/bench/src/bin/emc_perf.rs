@@ -823,6 +823,21 @@ fn main() {
             None => println!("  vs baseline      : sim {sim_speedup:.2}x, verify {verify_speedup:.2}x"),
         }
         if let Some(pct) = args.guard {
+            // Rates vary with the machine: a baseline captured on a
+            // different core count makes the floor comparison suspect,
+            // so say so before any breach assertion fires.
+            let host_threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1) as f64;
+            if let Some(base_host) = json_f64_field(&text, "host_threads") {
+                if base_host != host_threads {
+                    println!(
+                        "  WARNING: baseline host_threads {base_host:.0} != current \
+                         {host_threads:.0}; guard floors compare rates across different \
+                         machines"
+                    );
+                }
+            }
             let floor = 1.0 - pct / 100.0;
             let breaches: Vec<String> = guarded
                 .iter()

@@ -22,6 +22,9 @@
 //!   shared pipeline-array rig, exporting the `sim.pdes.*` protocol
 //!   counters (partitions, crossing nets, sync rounds) merged with the
 //!   per-partition simulator bundles;
+//! * `altlogic` — the alternative logic families' ledgers: an adiabatic
+//!   cascade run and a charge-recovery session, with `recovered` energy
+//!   booked next to `dissipated` and `leaked`;
 //! * `all` — every scenario above, merged into one bundle.
 //!
 //! Output: a human summary by default, or exactly one of `--json`
@@ -30,12 +33,15 @@
 //! `--smoke` shrinks every workload for the tier-1 gate. Flag errors
 //! panic, like the other campaign binaries.
 
+use emc_altlogic::{AdiabaticPipeline, ChargeRecoveryMemory};
 use emc_async::{SelfTimedOscillator, ToggleRippleCounter};
 use emc_bench::{drive_array, pdes_array, pdes_parallel};
-use emc_device::DeviceModel;
+use emc_device::{AdiabaticModel, DeviceModel};
 use emc_netlist::{GateKind, Netlist};
 use emc_obs::{to_chrome_trace, to_jsonl, to_prometheus, EnergyKind, Telemetry};
-use emc_power::{DcDcConverter, PowerChain, StorageCap, VibrationHarvester};
+use emc_power::{
+    ClockShape, DcDcConverter, PowerChain, PowerClock, StorageCap, VibrationHarvester,
+};
 use emc_prng::{Rng, StdRng};
 use emc_sensors::ChargeToDigitalConverter;
 use emc_sim::campaign::{run_campaign, CampaignConfig, RunContext, RunReport};
@@ -192,6 +198,30 @@ fn scenario_campaign(smoke: bool, threads: usize, seed: u64) -> Telemetry {
     report.merged_telemetry()
 }
 
+/// The alternative logic families' energy ledgers: a phase-disciplined
+/// adiabatic run and a charge-recovery session, booked through their
+/// telemetry hooks (`recovered` next to `dissipated`/`leaked`).
+fn scenario_altlogic(smoke: bool) -> Telemetry {
+    let clock = PowerClock::symmetric(Volts(0.5), Seconds(50e-9), 4, ClockShape::Trapezoid);
+    let pipe = AdiabaticPipeline::new(
+        clock,
+        AdiabaticModel::new(DeviceModel::umc90()),
+        3,
+        24,
+        Farads(2e-15),
+    );
+    let run = pipe.run(if smoke { 8 } else { 64 });
+    assert!(
+        run.clean(),
+        "adiabatic schedule must satisfy the discipline"
+    );
+    let mut t = pipe.telemetry(&run);
+    let mem = ChargeRecoveryMemory::new(Farads(2e-12), 12, 16, 0.8);
+    let session = mem.run(Volts(0.8), if smoke { 2 } else { 8 });
+    t.merge_from(&mem.telemetry(&session));
+    t
+}
+
 fn run_scenario(name: &str, smoke: bool, threads: usize, seed: u64) -> Telemetry {
     match name {
         "sim" => scenario_sim(smoke),
@@ -201,6 +231,7 @@ fn run_scenario(name: &str, smoke: bool, threads: usize, seed: u64) -> Telemetry
         "chain" => scenario_chain(smoke),
         "campaign" => scenario_campaign(smoke, threads, seed),
         "pdes" => scenario_pdes(smoke, threads),
+        "altlogic" => scenario_altlogic(smoke),
         "all" => {
             let mut t = scenario_sim(smoke);
             t.merge_from(&scenario_verify(smoke));
@@ -209,11 +240,13 @@ fn run_scenario(name: &str, smoke: bool, threads: usize, seed: u64) -> Telemetry
             t.merge_from(&scenario_chain(smoke));
             t.merge_from(&scenario_campaign(smoke, threads, seed));
             t.merge_from(&scenario_pdes(smoke, threads));
+            t.merge_from(&scenario_altlogic(smoke));
             t
         }
         other => {
             panic!(
-                "unknown scenario {other:?} (sim, verify, sram, sensor, chain, campaign, pdes, all)"
+                "unknown scenario {other:?} (sim, verify, sram, sensor, chain, campaign, pdes, \
+                 altlogic, all)"
             )
         }
     }

@@ -15,6 +15,9 @@
 //!   voltage for **Design 1** (speed-independent dual-rail) and
 //!   **Design 2** (bundled data), measured by gate-level simulation,
 //!   including sub-threshold variation that silently corrupts Design 2;
+//! * [`families`] — the Fig. 2 comparison widened to all five
+//!   [`emc_altlogic::LogicFamily`] design points: adiabatic,
+//!   charge-recovery and Razor-DVS measured next to the two classics;
 //! * [`hybrid`] — the paper's recommendation: a hybrid that senses Vdd
 //!   (with the reference-free sensor) and switches styles, tracking the
 //!   upper envelope of both curves;
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod families;
 pub mod holistic;
 pub mod hybrid;
 pub mod proportionality;
@@ -49,6 +53,7 @@ pub mod qos;
 pub mod strategy;
 pub mod system;
 
+pub use families::{measure_family, FamilyPoint};
 pub use holistic::{HolisticExperiment, HolisticReport};
 pub use hybrid::HybridController;
 pub use proportionality::ActivityCurve;

@@ -41,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adiabatic;
 pub mod calibration;
 pub mod model;
 pub mod params;
 pub mod variation;
 
+pub use adiabatic::{AdiabaticModel, AdiabaticOpEnergy};
 pub use calibration::SramLogicCalibration;
 pub use model::DeviceModel;
 pub use params::{ProcessCorner, ProcessParams};

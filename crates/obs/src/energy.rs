@@ -27,6 +27,9 @@ pub enum EnergyKind {
     Harvested,
     /// Currently held in a storage element (capacitor, battery).
     Stored,
+    /// Returned to the supply by a charge-recovery mechanism (adiabatic
+    /// ramp-down, recovery rail) instead of being dissipated.
+    Recovered,
 }
 
 impl EnergyKind {
@@ -37,6 +40,7 @@ impl EnergyKind {
             EnergyKind::Leaked => "leaked",
             EnergyKind::Harvested => "harvested",
             EnergyKind::Stored => "stored",
+            EnergyKind::Recovered => "recovered",
         }
     }
 }

@@ -336,6 +336,101 @@ mod tests {
     }
 
     #[test]
+    fn draw_quantum_zero_energy_quantum() {
+        // On an empty reservoir a zero quantum is refused (the
+        // converter's quiescent draw still needs banking) and books a
+        // zero deficit — the report stays exactly as it was.
+        let mut c = chain_100uw();
+        assert!(!c.draw_quantum(Joules(0.0), Seconds(1e-3)));
+        assert_eq!(c.report().deficit, Joules(0.0));
+        assert_eq!(c.report().delivered, Joules(0.0));
+
+        // Charged: the zero quantum is granted, delivers nothing, and
+        // the reservoir pays only the quiescent slice (all of it booked
+        // as conversion loss).
+        for _ in 0..100 {
+            c.tick(Seconds(1e-3), Watts(0.0));
+        }
+        let stored_before = c.storage().stored_energy();
+        let loss_before = c.report().conversion_loss;
+        assert!(c.draw_quantum(Joules(0.0), Seconds(1e-3)));
+        assert_eq!(c.report().delivered, Joules(0.0));
+        let spent = stored_before.0 - c.storage().stored_energy().0;
+        let loss = c.report().conversion_loss.0 - loss_before.0;
+        assert!(
+            (spent - loss).abs() < 1e-18,
+            "quiescent slice {spent} must all be conversion loss, got {loss}"
+        );
+    }
+
+    #[test]
+    fn draw_quantum_exceeding_capacity_refused_even_when_full() {
+        let mut c = chain_100uw();
+        // Charge until the reservoir caps out (harvest starts spilling).
+        for _ in 0..10_000 {
+            c.tick(Seconds(1e-3), Watts(0.0));
+        }
+        assert!(c.report().spilled.0 > 0.0, "reservoir should be full");
+        let stored = c.storage().stored_energy();
+        // A demand above everything the full reservoir holds can never
+        // be granted, and the refusal must not touch the store.
+        assert!(!c.draw_quantum(Joules(stored.0 * 1.01), Seconds(1e-3)));
+        assert_eq!(c.storage().stored_energy(), stored);
+    }
+
+    #[test]
+    fn repeated_refusals_accumulate_deficit() {
+        let mut c = chain_100uw();
+        let demand = Joules(3e-7);
+        for i in 1..=5 {
+            assert!(!c.draw_quantum(demand, Seconds(1e-3)));
+            assert!(
+                (c.report().deficit.0 - demand.0 * i as f64).abs() < 1e-18,
+                "after {i} refusals deficit {} != {i}×{demand}",
+                c.report().deficit
+            );
+        }
+        assert_eq!(c.report().delivered, Joules(0.0));
+        assert_eq!(c.storage().stored_energy(), Joules(0.0));
+    }
+
+    #[test]
+    fn draw_quantum_ledger_invariant_under_random_interleaving() {
+        use emc_prng::{Rng, StdRng};
+        // Property: whatever order ticks, grants and refusals happen
+        // in, the ledger balances — everything harvested is spilled,
+        // still stored, delivered or lost in conversion; and the
+        // deficit equals exactly the demand of the refused quanta.
+        let mut c = chain_100uw();
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        let mut refused = 0.0f64;
+        for _ in 0..500 {
+            if rng.gen_bool(0.5) {
+                c.tick(Seconds(1e-3), Watts(0.0));
+            } else {
+                let demand = Joules(rng.gen_range(0.0..2e-6));
+                if !c.draw_quantum(demand, Seconds(1e-3)) {
+                    refused += demand.0;
+                }
+            }
+        }
+        let r = c.report();
+        assert!(r.harvested.0 > 0.0 && r.delivered.0 > 0.0 && r.deficit.0 > 0.0);
+        let accounted =
+            r.spilled.0 + c.storage().stored_energy().0 + r.delivered.0 + r.conversion_loss.0;
+        assert!(
+            (r.harvested.0 - accounted).abs() < r.harvested.0 * 1e-9,
+            "harvested {} vs accounted {accounted}",
+            r.harvested
+        );
+        assert!(
+            (r.deficit.0 - refused).abs() < 1e-15,
+            "deficit {} vs refused demand {refused}",
+            r.deficit
+        );
+    }
+
+    #[test]
     fn draw_quantum_books_conversion_loss() {
         let mut c = chain_100uw();
         for _ in 0..100 {

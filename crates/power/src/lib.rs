@@ -20,7 +20,10 @@
 //!   tracker used on the generation side;
 //! * [`chain`] — [`PowerChain`]: harvester → storage → converter composed
 //!   into one steppable object with full energy accounting, plus
-//!   [`chain::ac_supply`] for the raw AC rail of the paper's Fig. 4.
+//!   [`chain::ac_supply`] for the raw AC rail of the paper's Fig. 4;
+//! * [`power_clock`] — [`PowerClock`]: the trapezoidal/sinusoidal n-phase
+//!   ramped supply of adiabatic logic, with the phase-discipline queries
+//!   the `emc-verify` `PC` rules and `emc-altlogic` build on.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ pub mod chain;
 pub mod converter;
 pub mod harvester;
 pub mod mppt;
+pub mod power_clock;
 pub mod storage;
 
 pub use battery::Battery;
@@ -52,4 +56,5 @@ pub use chain::{ChainReport, PowerChain};
 pub use converter::DcDcConverter;
 pub use harvester::{BurstSource, HarvestSource, SolarCell, VibrationHarvester};
 pub use mppt::PerturbObserve;
+pub use power_clock::{ClockShape, PhasePos, PowerClock};
 pub use storage::StorageCap;

@@ -1,0 +1,454 @@
+//! Ramped power-clock source for adiabatic (charge-recovery) logic.
+//!
+//! Adiabatic circuits are not powered from a DC rail: the supply *is*
+//! the clock. An n-phase ladder of ramped waveforms charges each gate's
+//! output capacitance slowly (dissipating only `≈ C·V²·(RC/T)` for ramp
+//! time `T`), holds it while the next stage evaluates, then ramps back
+//! down, **recovering** the charge into the supply resonator instead of
+//! dumping it to ground. [`PowerClock`] models that source: a
+//! trapezoidal or sinusoidal phase waveform, the staggered phase
+//! geometry, and the *phase discipline* queries the verifier's `PC`
+//! rules are built on (a gate may only evaluate while its clock ramp is
+//! active — see `emc_verify::powerclock`).
+
+use emc_units::{Seconds, Volts, Waveform};
+
+/// Shape of one power-clock phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockShape {
+    /// Linear ramp up, flat hold, linear ramp down (stepwise-charging
+    /// drivers, e.g. the staircase supplies of Zulehner/Frank/Wille).
+    Trapezoid,
+    /// Raised-cosine swing (LC-resonator supplies). Dissipates a factor
+    /// `π²/8` more per edge than an ideal linear ramp of equal duration
+    /// because the current crowds into the middle of the transition.
+    Sine,
+}
+
+impl ClockShape {
+    /// Multiplier on the `RC/T` adiabatic loss relative to an ideal
+    /// linear ramp (1.0 for the trapezoid, `π²/8` for the sinusoid).
+    pub fn ramp_loss_factor(&self) -> f64 {
+        match self {
+            ClockShape::Trapezoid => 1.0,
+            ClockShape::Sine => std::f64::consts::PI * std::f64::consts::PI / 8.0,
+        }
+    }
+
+    /// Stable lower-case label (JSON output, telemetry).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClockShape::Trapezoid => "trapezoid",
+            ClockShape::Sine => "sine",
+        }
+    }
+}
+
+/// Where inside its cycle a phase currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhasePos {
+    /// Supply ramping 0 → `v_peak`: evaluation happens here.
+    RampUp,
+    /// Supply held at `v_peak`: outputs are valid, the next phase
+    /// evaluates off them.
+    Hold,
+    /// Supply ramping `v_peak` → 0: charge is being recovered; inputs
+    /// must already be stable.
+    RampDown,
+    /// Supply at 0 V between activations of this phase.
+    Idle,
+}
+
+impl PhasePos {
+    /// Stable lower-case label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhasePos::RampUp => "ramp-up",
+            PhasePos::Hold => "hold",
+            PhasePos::RampDown => "ramp-down",
+            PhasePos::Idle => "idle",
+        }
+    }
+}
+
+/// An n-phase staggered ramped power-clock source.
+///
+/// Successive phases are offset by exactly one ramp time `R`, so the
+/// period is `phases · R` and phase `k + 1` ramps up **while phase `k`
+/// holds** — the cascade discipline of classic 2N2P/PFAL ladders, where
+/// a stage evaluates off its predecessor's held rail. Each phase's
+/// activation is ramp-up `R`, hold `H`, ramp-down `R`, then idle until
+/// its next period; fitting the activation inside the period requires
+/// `H ≤ (phases − 2)·R`, and a cascade-capable ladder additionally
+/// wants `H ≥ R` (the consumer's whole ramp inside the producer's
+/// hold). The canonical four-phase clock is `H = R`: four equal
+/// quarter-period intervals.
+///
+/// Positions and voltages are *steady-state periodic*: time 0 is mid
+/// rotation for the later phases (phase `k` is holding the charge it
+/// ramped up one period earlier).
+///
+/// # Examples
+///
+/// ```
+/// use emc_power::{ClockShape, PhasePos, PowerClock};
+/// use emc_units::{Seconds, Volts};
+///
+/// let pc = PowerClock::new(Volts(0.5), Seconds(10e-9), Seconds(10e-9), 4, ClockShape::Trapezoid);
+/// // Phase 0 ramps up at the start of the cycle…
+/// assert_eq!(pc.phase_pos(0, Seconds(5e-9)), PhasePos::RampUp);
+/// // …and phase 1 ramps up during phase 0's hold.
+/// assert_eq!(pc.phase_pos(1, Seconds(15e-9)), PhasePos::RampUp);
+/// assert_eq!(pc.phase_pos(0, Seconds(15e-9)), PhasePos::Hold);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerClock {
+    v_peak: Volts,
+    ramp: Seconds,
+    hold: Seconds,
+    phases: usize,
+    shape: ClockShape,
+}
+
+impl PowerClock {
+    /// A power clock with peak voltage `v_peak`, ramp time `ramp`, hold
+    /// time `hold` and `phases` staggered phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_peak` and `ramp` are strictly positive, `hold`
+    /// is non-negative, `phases` is in `2..=16`, and
+    /// `hold ≤ (phases − 2)·ramp` (a longer hold would overlap the
+    /// phase's own next activation).
+    pub fn new(
+        v_peak: Volts,
+        ramp: Seconds,
+        hold: Seconds,
+        phases: usize,
+        shape: ClockShape,
+    ) -> Self {
+        assert!(v_peak.0 > 0.0, "peak voltage must be positive");
+        assert!(ramp.0 > 0.0, "ramp time must be positive");
+        assert!(hold.0 >= 0.0, "negative hold time");
+        assert!((2..=16).contains(&phases), "phases must be in 2..=16");
+        assert!(
+            hold.0 <= (phases as f64 - 2.0) * ramp.0 + 1e-30,
+            "hold time exceeds (phases-2)·ramp: activation would overlap itself"
+        );
+        Self {
+            v_peak,
+            ramp,
+            hold,
+            phases,
+            shape,
+        }
+    }
+
+    /// The canonical cascade-capable ladder: `hold = ramp`, giving each
+    /// activation equal ramp-up/hold/ramp-down thirds (quarter-period
+    /// intervals on the classic 4-phase clock).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::new`] (requires `phases ≥ 3`).
+    pub fn symmetric(v_peak: Volts, ramp: Seconds, phases: usize, shape: ClockShape) -> Self {
+        Self::new(v_peak, ramp, ramp, phases, shape)
+    }
+
+    /// Peak (hold-level) voltage.
+    pub fn v_peak(&self) -> Volts {
+        self.v_peak
+    }
+
+    /// Ramp time `T` — the knob the `RC/T` dissipation scales with.
+    pub fn ramp_time(&self) -> Seconds {
+        self.ramp
+    }
+
+    /// Hold time at the peak.
+    pub fn hold_time(&self) -> Seconds {
+        self.hold
+    }
+
+    /// Number of phases in the ladder.
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// The phase waveform shape.
+    pub fn shape(&self) -> ClockShape {
+        self.shape
+    }
+
+    /// Duration of one phase activation: `ramp + hold + ramp`.
+    pub fn active_span(&self) -> Seconds {
+        Seconds(2.0 * self.ramp.0 + self.hold.0)
+    }
+
+    /// Full cycle period: `phases · ramp` (phases are staggered by one
+    /// ramp time).
+    pub fn period(&self) -> Seconds {
+        Seconds(self.phases as f64 * self.ramp.0)
+    }
+
+    /// Start time of phase `k`'s ramp-up within cycle `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase >= phases`.
+    pub fn phase_start(&self, phase: usize, cycle: u64) -> Seconds {
+        assert!(phase < self.phases, "phase {phase} out of range");
+        Seconds(cycle as f64 * self.period().0 + phase as f64 * self.ramp.0)
+    }
+
+    /// Local time within phase `k`'s activation at absolute time `t`
+    /// (periodic; in `[0, period)`).
+    fn local(&self, phase: usize, t: Seconds) -> f64 {
+        assert!(phase < self.phases, "phase {phase} out of range");
+        assert!(t.0 >= 0.0, "negative time");
+        let period = self.period().0;
+        let mut local = (t.0 % period) - phase as f64 * self.ramp.0;
+        if local < 0.0 {
+            local += period;
+        }
+        local
+    }
+
+    /// Where phase `k` is at absolute time `t` (steady-state periodic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase >= phases` or `t` is negative.
+    pub fn phase_pos(&self, phase: usize, t: Seconds) -> PhasePos {
+        let local = self.local(phase, t);
+        if local < self.ramp.0 {
+            PhasePos::RampUp
+        } else if local < self.ramp.0 + self.hold.0 {
+            PhasePos::Hold
+        } else if local < self.active_span().0 {
+            PhasePos::RampDown
+        } else {
+            PhasePos::Idle
+        }
+    }
+
+    /// `true` when a gate assigned to `phase` may legally *evaluate* at
+    /// `t`: during its ramp-up (adiabatic switching rides the ramp) or
+    /// the hold (outputs settle at full swing). Evaluating during
+    /// ramp-down or idle abandons charge on the output — a `PC001`
+    /// violation under `emc_verify::powerclock`.
+    pub fn eval_active(&self, phase: usize, t: Seconds) -> bool {
+        matches!(self.phase_pos(phase, t), PhasePos::RampUp | PhasePos::Hold)
+    }
+
+    /// Voltage of phase `k`'s rail at `t` (steady-state periodic).
+    pub fn voltage(&self, phase: usize, t: Seconds) -> Volts {
+        let local = self.local(phase, t);
+        if local >= self.active_span().0 {
+            return Volts(0.0);
+        }
+        let frac = if local < self.ramp.0 {
+            local / self.ramp.0
+        } else if local < self.ramp.0 + self.hold.0 {
+            1.0
+        } else {
+            1.0 - (local - self.ramp.0 - self.hold.0) / self.ramp.0
+        };
+        let frac = match self.shape {
+            ClockShape::Trapezoid => frac,
+            // Raised cosine through the same endpoints.
+            ClockShape::Sine => 0.5 * (1.0 - (std::f64::consts::PI * frac).cos()),
+        };
+        Volts(self.v_peak.0 * frac)
+    }
+
+    /// The phase-`k` rail as a piecewise-linear [`Waveform`] covering the
+    /// activations that *start* in the first `cycles` periods (sinusoidal
+    /// shapes are sampled at 16 points per ramp). This is the causal
+    /// startup trace: it begins at 0 V, so for late phases it lags the
+    /// steady-state [`Self::voltage`] by one rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase >= phases` or `cycles == 0`.
+    pub fn waveform(&self, phase: usize, cycles: u64) -> Waveform {
+        assert!(phase < self.phases, "phase {phase} out of range");
+        assert!(cycles > 0, "need at least one cycle");
+        let mut pts: Vec<(Seconds, f64)> = vec![(Seconds(0.0), 0.0)];
+        for cycle in 0..cycles {
+            let t0 = self.phase_start(phase, cycle).0;
+            match self.shape {
+                ClockShape::Trapezoid => {
+                    pts.push((Seconds(t0), 0.0));
+                    pts.push((Seconds(t0 + self.ramp.0), self.v_peak.0));
+                    pts.push((Seconds(t0 + self.ramp.0 + self.hold.0), self.v_peak.0));
+                    pts.push((Seconds(t0 + self.active_span().0), 0.0));
+                }
+                ClockShape::Sine => {
+                    let n = 16;
+                    for i in 0..=n {
+                        let frac = i as f64 / n as f64;
+                        let v = self.v_peak.0 * 0.5 * (1.0 - (std::f64::consts::PI * frac).cos());
+                        pts.push((Seconds(t0 + frac * self.ramp.0), v));
+                    }
+                    pts.push((Seconds(t0 + self.ramp.0 + self.hold.0), self.v_peak.0));
+                    for i in 0..=n {
+                        let frac = i as f64 / n as f64;
+                        let v = self.v_peak.0 * 0.5 * (1.0 + (std::f64::consts::PI * frac).cos());
+                        pts.push((
+                            Seconds(t0 + self.ramp.0 + self.hold.0 + frac * self.ramp.0),
+                            v,
+                        ));
+                    }
+                }
+            }
+        }
+        pts.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        Waveform::pwl(pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc4() -> PowerClock {
+        PowerClock::new(
+            Volts(0.5),
+            Seconds(10e-9),
+            Seconds(10e-9),
+            4,
+            ClockShape::Trapezoid,
+        )
+    }
+
+    #[test]
+    fn stagger_and_period_geometry() {
+        let pc = pc4();
+        assert!((pc.active_span().0 - 30e-9).abs() < 1e-18);
+        assert!((pc.period().0 - 40e-9).abs() < 1e-18);
+        assert!((pc.phase_start(2, 0).0 - 20e-9).abs() < 1e-18);
+        assert!((pc.phase_start(1, 2).0 - 90e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn phase_positions_rotate_through_the_cycle() {
+        let pc = pc4();
+        assert_eq!(pc.phase_pos(0, Seconds(5e-9)), PhasePos::RampUp);
+        assert_eq!(pc.phase_pos(0, Seconds(15e-9)), PhasePos::Hold);
+        assert_eq!(pc.phase_pos(0, Seconds(25e-9)), PhasePos::RampDown);
+        assert_eq!(pc.phase_pos(0, Seconds(35e-9)), PhasePos::Idle);
+        // Phase 2's ramp starts at 20 ns.
+        assert_eq!(pc.phase_pos(2, Seconds(25e-9)), PhasePos::RampUp);
+        // Periodicity: one full cycle later the positions repeat.
+        assert_eq!(pc.phase_pos(0, Seconds(45e-9)), PhasePos::RampUp);
+    }
+
+    #[test]
+    fn consumer_ramp_overlaps_producer_hold() {
+        // The cascade discipline the stagger exists for: while phase k
+        // holds, phase k+1 (mod n) ramps up — including the wrap from
+        // the last phase back to phase 0 of the next rotation.
+        let pc = pc4();
+        for k in 0..4 {
+            let next = (k + 1) % 4;
+            // Midpoint of the consumer's ramp-up, one stagger after k's.
+            let t = Seconds(((k + 1) as f64 + 0.5) * 10e-9);
+            assert_eq!(pc.phase_pos(next, t), PhasePos::RampUp, "phase {next}");
+            assert_eq!(pc.phase_pos(k, t), PhasePos::Hold, "producer {k}");
+        }
+    }
+
+    #[test]
+    fn eval_window_is_ramp_up_and_hold() {
+        let pc = pc4();
+        assert!(pc.eval_active(0, Seconds(5e-9)));
+        assert!(pc.eval_active(0, Seconds(15e-9)));
+        assert!(!pc.eval_active(0, Seconds(25e-9)));
+        assert!(!pc.eval_active(0, Seconds(35e-9)));
+    }
+
+    #[test]
+    fn trapezoid_voltage_ramps_and_holds() {
+        let pc = pc4();
+        assert!((pc.voltage(0, Seconds(5e-9)).0 - 0.25).abs() < 1e-12);
+        assert_eq!(pc.voltage(0, Seconds(15e-9)), Volts(0.5));
+        assert!((pc.voltage(0, Seconds(25e-9)).0 - 0.25).abs() < 1e-12);
+        assert_eq!(pc.voltage(0, Seconds(35e-9)), Volts(0.0));
+    }
+
+    #[test]
+    fn sine_voltage_matches_endpoints_and_midpoint() {
+        let pc = PowerClock::new(
+            Volts(1.0),
+            Seconds(10e-9),
+            Seconds(0.0),
+            2,
+            ClockShape::Sine,
+        );
+        assert!(pc.voltage(0, Seconds(0.0)).0 < 1e-12);
+        // Raised cosine is at half swing at the ramp midpoint.
+        assert!((pc.voltage(0, Seconds(5e-9)).0 - 0.5).abs() < 1e-12);
+        assert!((pc.voltage(0, Seconds(10e-9)).0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waveform_agrees_with_voltage_for_unwrapped_phase() {
+        // Phase 1's activation (10–40 ns of a 40 ns period) does not wrap,
+        // so the causal waveform and the periodic voltage coincide.
+        let pc = pc4();
+        let w = pc.waveform(1, 2);
+        for &t in &[0.0, 15e-9, 25e-9, 35e-9, 45e-9, 55e-9, 75e-9] {
+            assert!(
+                (w.value_at(Seconds(t)) - pc.voltage(1, Seconds(t)).0).abs() < 1e-9,
+                "mismatch at t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_ladder_is_hold_equals_ramp() {
+        let pc = PowerClock::symmetric(Volts(0.5), Seconds(5e-9), 4, ClockShape::Trapezoid);
+        assert_eq!(pc.hold_time(), pc.ramp_time());
+        assert!((pc.period().0 - 20e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn shape_loss_factors() {
+        assert_eq!(ClockShape::Trapezoid.ramp_loss_factor(), 1.0);
+        assert!((ClockShape::Sine.ramp_loss_factor() - 1.2337).abs() < 1e-3);
+        assert_eq!(ClockShape::Trapezoid.label(), "trapezoid");
+        assert_eq!(PhasePos::RampUp.label(), "ramp-up");
+    }
+
+    #[test]
+    #[should_panic(expected = "phases must be in 2..=16")]
+    fn one_phase_panics() {
+        let _ = PowerClock::new(
+            Volts(0.5),
+            Seconds(1e-9),
+            Seconds(0.0),
+            1,
+            ClockShape::Trapezoid,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hold time exceeds")]
+    fn overlong_hold_panics() {
+        // 4 phases allow hold ≤ 2·ramp.
+        let _ = PowerClock::new(
+            Volts(0.5),
+            Seconds(1e-9),
+            Seconds(3e-9),
+            4,
+            ClockShape::Trapezoid,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phase_out_of_range_panics() {
+        let _ = pc4().phase_pos(4, Seconds(0.0));
+    }
+}

@@ -330,6 +330,13 @@ impl Simulator {
         self.delay_memo[gate.index()].set((MEMO_INVALID, 0.0));
     }
 
+    /// The current delay scale of a gate (1.0 unless overridden) — lets
+    /// callers stack a temporary slowdown on top of injected variation
+    /// and restore it afterwards.
+    pub fn delay_scale(&self, gate: GateId) -> f64 {
+        self.delay_scale[gate.index()]
+    }
+
     /// Sets a net's value before the simulation starts (initialising
     /// C-element state, pre-charged lines, …).
     ///

@@ -24,12 +24,17 @@
 //! | `TA001`  | warning  | D flip-flop carries a bundling timing assumption |
 //! | `STG001` | error    | reachable behaviour not a trace of the STG spec |
 //! | `XPL001` | info     | exploration capped; results are partial |
+//! | `PC001`  | error    | adiabatic gate evaluated outside its ramp-up/hold window |
+//! | `PC002`  | error    | gate assigned a phase the power clock does not have |
+//! | `PC003`  | error    | input consumed while the producing phase was not holding |
 //!
 //! The `NET*` rules are structural ([`Netlist::validate`]); `CD001` and
 //! `TA001` are structural over discovered rail pairs and primitives
 //! ([`rails`]); `SI001`/`DR001`/`DR002` are decided on the reachable
 //! state graph ([`explore`]); `STG001` is a product construction against
-//! the specification ([`conformance`]).
+//! the specification ([`conformance`]); the `PC*` rules check recorded
+//! power-clock evaluation traces against the adiabatic phase discipline
+//! ([`powerclock`]).
 //!
 //! # Examples
 //!
@@ -61,6 +66,7 @@
 pub mod builtin;
 pub mod conformance;
 pub mod explore;
+pub mod powerclock;
 pub mod rails;
 pub mod reduce;
 
@@ -72,6 +78,7 @@ use emc_sim::{run_campaign, CampaignConfig, CampaignReport, RunReport};
 
 pub use conformance::check_conformance;
 pub use explore::{EnvAction, EnvView, Environment, ExploreOutcome, Explorer, State, Transition};
+pub use powerclock::{check_power_clock, PhaseEvent};
 pub use rails::{
     check_completion_coverage, check_timing_assumptions, discover_rail_pairs, RailPair,
 };

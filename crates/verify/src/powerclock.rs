@@ -1,0 +1,211 @@
+//! Power-clock phase-discipline rules for adiabatic logic (`PC001`–
+//! `PC003`).
+//!
+//! An adiabatic gate is powered by one phase of an
+//! [`emc_power::PowerClock`] ladder. Correct operation requires a
+//! *phase discipline*:
+//!
+//! * a gate may only **evaluate** while its own phase's ramp is active
+//!   (ramp-up or hold) — switching during ramp-down or idle abandons
+//!   charge on the output instead of recovering it (`PC001`);
+//! * every gate must be assigned a phase that exists on the clock
+//!   (`PC002`);
+//! * a gate consuming another stage's output must evaluate while the
+//!   producing phase **holds** its rail — sampling a ramping input
+//!   re-introduces the non-adiabatic `C·V²` loss the style exists to
+//!   avoid (`PC003`).
+//!
+//! The checker is trace-based: simulation engines (the
+//! `emc-altlogic` adiabatic pipeline, or any external scheduler) record
+//! one [`PhaseEvent`] per gate evaluation and hand the list over. This
+//! mirrors how `SI001` is decided on explored behaviour rather than
+//! structure: the discipline is a property of *when* gates fire, which
+//! only a run can witness.
+
+use emc_netlist::{Diagnostic, GateId, Severity};
+use emc_power::{PhasePos, PowerClock};
+use emc_units::Seconds;
+
+/// One recorded gate evaluation under a power clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEvent {
+    /// Absolute simulation time of the evaluation.
+    pub time: Seconds,
+    /// The clock phase the evaluating gate is assigned to.
+    pub phase: usize,
+    /// The phase of the stage whose output this evaluation consumes
+    /// (`None` for primary inputs).
+    pub consumes: Option<usize>,
+    /// The evaluating gate, if the caller tracks netlist identities.
+    pub gate: Option<GateId>,
+    /// Display label for diagnostics (stage/gate name).
+    pub label: String,
+}
+
+/// Checks `events` against `clock`'s phase discipline; returns one
+/// diagnostic per violation, in event order.
+pub fn check_power_clock(clock: &PowerClock, events: &[PhaseEvent]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for e in events {
+        if e.phase >= clock.phases() {
+            out.push(Diagnostic {
+                rule: "PC002",
+                severity: Severity::Error,
+                message: format!(
+                    "{}: assigned phase {} but the power clock has only {} phases",
+                    e.label,
+                    e.phase,
+                    clock.phases()
+                ),
+                gate: e.gate,
+                net: None,
+            });
+            continue;
+        }
+        if !clock.eval_active(e.phase, e.time) {
+            out.push(Diagnostic {
+                rule: "PC001",
+                severity: Severity::Error,
+                message: format!(
+                    "{}: evaluated at {} while phase {} was in {} (legal only during ramp-up/hold)",
+                    e.label,
+                    e.time,
+                    e.phase,
+                    clock.phase_pos(e.phase, e.time).label()
+                ),
+                gate: e.gate,
+                net: None,
+            });
+        }
+        if let Some(src) = e.consumes {
+            if src >= clock.phases() {
+                out.push(Diagnostic {
+                    rule: "PC002",
+                    severity: Severity::Error,
+                    message: format!(
+                        "{}: consumes phase {} but the power clock has only {} phases",
+                        e.label,
+                        src,
+                        clock.phases()
+                    ),
+                    gate: e.gate,
+                    net: None,
+                });
+            } else if clock.phase_pos(src, e.time) != PhasePos::Hold {
+                out.push(Diagnostic {
+                    rule: "PC003",
+                    severity: Severity::Error,
+                    message: format!(
+                        "{}: sampled phase {} output at {} while that rail was in {} \
+                         (inputs must be consumed during hold)",
+                        e.label,
+                        src,
+                        e.time,
+                        clock.phase_pos(src, e.time).label()
+                    ),
+                    gate: e.gate,
+                    net: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_power::ClockShape;
+    use emc_units::Volts;
+
+    fn clock() -> PowerClock {
+        PowerClock::new(
+            Volts(0.5),
+            Seconds(10e-9),
+            Seconds(10e-9),
+            4,
+            ClockShape::Trapezoid,
+        )
+    }
+
+    fn ev(time: f64, phase: usize, consumes: Option<usize>) -> PhaseEvent {
+        PhaseEvent {
+            time: Seconds(time),
+            phase,
+            consumes,
+            gate: None,
+            label: format!("stage{phase}"),
+        }
+    }
+
+    #[test]
+    fn disciplined_cascade_is_clean() {
+        let c = clock();
+        // Phase 0 evaluates a primary input mid-ramp (0–10 ns); phase 1
+        // ramps up at 10–20 ns, exactly while phase 0 holds — the
+        // cascade the staggered ladder exists for.
+        let diags = check_power_clock(&c, &[ev(5e-9, 0, None), ev(15e-9, 1, Some(0))]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn pc001_fires_on_ramp_down_evaluation() {
+        let c = clock();
+        let diags = check_power_clock(&c, &[ev(25e-9, 0, None)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "PC001");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("ramp-down"));
+    }
+
+    #[test]
+    fn pc001_fires_on_idle_evaluation() {
+        let c = clock();
+        let diags = check_power_clock(&c, &[ev(35e-9, 0, None)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "PC001");
+        assert!(diags[0].message.contains("idle"));
+    }
+
+    #[test]
+    fn pc002_fires_on_out_of_range_phase() {
+        let c = clock();
+        let diags = check_power_clock(&c, &[ev(5e-9, 7, None)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "PC002");
+        // Out-of-range consuming phase is also PC002.
+        let diags = check_power_clock(&c, &[ev(5e-9, 0, Some(9))]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "PC002");
+    }
+
+    #[test]
+    fn pc003_fires_when_input_not_held() {
+        let c = clock();
+        // Phase 1 evaluates legally in its hold at 25 ns, but phase 0's
+        // rail is already ramping down — the consumed input is not held.
+        let diags = check_power_clock(&c, &[ev(25e-9, 1, Some(0))]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "PC003");
+    }
+
+    #[test]
+    fn pc003_clean_when_producer_holds() {
+        let c = clock();
+        // Phase 1 ramping up at 15 ns consumes phase 0's rail, which
+        // holds 10–20 ns.
+        let diags = check_power_clock(&c, &[ev(15e-9, 1, Some(0))]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn violations_report_in_event_order() {
+        let c = clock();
+        let diags = check_power_clock(
+            &c,
+            &[ev(25e-9, 0, None), ev(5e-9, 9, None), ev(25e-9, 1, Some(0))],
+        );
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["PC001", "PC002", "PC003"]);
+    }
+}

@@ -28,6 +28,7 @@
 //! | [`gen`] | `emc-gen` | parameterized netlist generators, differential fuzzing |
 //! | [`analyze`] | `emc-analyze` | static independence/symmetry/lint analysis |
 //! | [`fleet`] | `emc-fleet` | deterministic fleet-scale node simulation |
+//! | [`altlogic`] | `emc-altlogic` | adiabatic, charge-recovery and Razor-DVS logic families |
 //!
 //! # Examples
 //!
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use emc_altlogic as altlogic;
 pub use emc_analyze as analyze;
 pub use emc_async as selftimed;
 pub use emc_core as core;
